@@ -1,0 +1,91 @@
+// Command freqgen generates workload streams and writes them in the
+// binary stream format understood by freqtop and the library.
+//
+// Usage:
+//
+//	freqgen -kind zipf -z 1.2 -n 10000000 -o zipf12.stream
+//	freqgen -kind http -n 10000000 -o http.stream
+//	freqgen -kind udp  -n 10000000 -o udp.stream
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streamfreq/internal/core"
+	"streamfreq/internal/stream"
+	"streamfreq/internal/trace"
+	"streamfreq/internal/zipf"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "zipf", "workload kind: zipf, uniform, http, udp, sequential")
+		n        = flag.Int("n", 10_000_000, "stream length")
+		universe = flag.Int("universe", 1<<22, "distinct items (zipf/uniform)")
+		z        = flag.Float64("z", 1.0, "Zipf skew (zipf kind)")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		out      = flag.String("o", "", "output file (required)")
+	)
+	flag.Parse()
+
+	if *out == "" {
+		fatal(fmt.Errorf("-o output file is required"))
+	}
+
+	var (
+		items []core.Item
+		meta  string
+	)
+	switch *kind {
+	case "zipf":
+		g, err := zipf.NewGenerator(*universe, *z, *seed, true)
+		if err != nil {
+			fatal(err)
+		}
+		items = g.Stream(*n)
+		meta = fmt.Sprintf("zipf z=%g universe=%d seed=%d", *z, *universe, *seed)
+	case "uniform":
+		g := zipf.Uniform(*universe, *seed)
+		items = g.Stream(*n)
+		meta = fmt.Sprintf("uniform universe=%d seed=%d", *universe, *seed)
+	case "http":
+		g, err := trace.NewHTTP(trace.DefaultHTTPConfig(*seed))
+		if err != nil {
+			fatal(err)
+		}
+		items = g.Stream(*n)
+		meta = fmt.Sprintf("http-like trace seed=%d", *seed)
+	case "udp":
+		g, err := trace.NewUDP(trace.DefaultUDPConfig(*seed))
+		if err != nil {
+			fatal(err)
+		}
+		items = g.Stream(*n)
+		meta = fmt.Sprintf("udp-flow trace seed=%d", *seed)
+	case "sequential":
+		items = zipf.Sequential(*n)
+		meta = "sequential"
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := stream.Write(f, meta, items); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d items (%s) to %s\n", len(items), meta, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "freqgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,148 @@
+// Command freqtop reports the frequent items of a stream using any
+// registered algorithm, optionally scoring it against exact counts.
+//
+// Usage:
+//
+//	freqtop -algo SSH -phi 0.001 zipf12.stream
+//	freqtop -algo CMH -phi 0.01 -verify http.stream
+//	cat access.log | awk '{print $7}' | freqtop -text -algo SSH -phi 0.01 -
+//
+// With -text, input is whitespace-separated tokens (one item per token)
+// read from the named file or standard input ("-"); tokens are hashed to
+// 64-bit items.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"streamfreq"
+	"streamfreq/internal/core"
+	"streamfreq/internal/exact"
+	"streamfreq/internal/metrics"
+	"streamfreq/internal/stream"
+)
+
+func main() {
+	var (
+		algo   = flag.String("algo", "SSH", "algorithm code (freqbench -list shows the roster)")
+		phi    = flag.Float64("phi", 0.001, "report items above phi fraction of the stream")
+		seed   = flag.Uint64("seed", 1, "hash seed for sketches")
+		verify = flag.Bool("verify", false, "also compute exact counts and score the report")
+		top    = flag.Int("top", 20, "print at most this many items")
+		text   = flag.Bool("text", false, "read whitespace-separated text tokens instead of a binary stream file")
+	)
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fatal(fmt.Errorf("usage: freqtop [flags] <stream-file | ->"))
+	}
+	var (
+		meta  string
+		items []core.Item
+		names map[core.Item]string
+		err   error
+	)
+	if *text {
+		items, names, err = readTokens(flag.Arg(0))
+		meta = "text tokens"
+	} else {
+		var f *os.File
+		f, err = os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		meta, items, err = stream.Read(f)
+		f.Close()
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("stream: %d items (%s)\n", len(items), meta)
+
+	s, err := streamfreq.New(*algo, *phi, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	timer := metrics.StartTimer()
+	for _, it := range items {
+		s.Update(it, 1)
+	}
+	rate := timer.UpdatesPerMilli(len(items))
+
+	threshold := int64(*phi * float64(len(items)))
+	if threshold < 1 {
+		threshold = 1
+	}
+	report := s.Query(threshold)
+	fmt.Printf("%s: %d items above φn = %d (%.0f updates/ms, %d bytes)\n",
+		s.Name(), len(report), threshold, rate, s.Bytes())
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\titem\testimate")
+	for i, ic := range report {
+		if i >= *top {
+			fmt.Fprintf(tw, "...\t(%d more)\t\n", len(report)-*top)
+			break
+		}
+		label := fmt.Sprintf("%#x", uint64(ic.Item))
+		if names != nil {
+			if n, ok := names[ic.Item]; ok {
+				label = n
+			}
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%d\n", i+1, label, ic.Count)
+	}
+	tw.Flush()
+
+	if *verify {
+		truth := exact.New()
+		for _, it := range items {
+			truth.Update(it, 1)
+		}
+		truthMap := metrics.TruthMap(truth.TopK(truth.Distinct()), threshold)
+		acc := metrics.Evaluate(report, truthMap)
+		fmt.Printf("verified: %s (exact summary: %d distinct, %d bytes)\n",
+			acc, truth.Distinct(), truth.Bytes())
+	}
+}
+
+// readTokens reads whitespace-separated tokens from path ("-" = stdin),
+// hashing each to an item and remembering token spellings for output.
+func readTokens(path string) ([]core.Item, map[core.Item]string, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Split(bufio.ScanWords)
+	var items []core.Item
+	names := make(map[core.Item]string)
+	for sc.Scan() {
+		tok := sc.Text()
+		it := core.HashString(tok)
+		items = append(items, it)
+		if _, ok := names[it]; !ok {
+			names[it] = tok
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return items, names, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "freqtop:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,38 @@
+// Package streamfreq finds the frequent items in data streams.
+//
+// It is a complete Go implementation of the algorithm roster compared in
+// "Finding frequent items in data streams" (VLDB 2008): the counter-based
+// summaries Frequent (Misra–Gries), Lossy Counting, and Space-Saving, and
+// the sketch-based summaries Count-Min (with dyadic hierarchy), Count
+// Sketch (Charikar, Chen & Farach-Colton), and Combinatorial Group
+// Testing — together with the workload generators, metrics, and benchmark
+// harness that regenerate the paper's experimental comparison.
+//
+// # The problem
+//
+// Given a stream of n items and a threshold φ, report every item
+// occurring more than φn times (perfect recall) while reporting as few
+// items below (φ−ε)n as possible (precision), using memory that does not
+// grow with the stream. Counter-based summaries solve this
+// deterministically with ⌈1/ε⌉ counters on insert-only streams; sketches
+// solve it with probability 1−δ, and additionally support deletions,
+// merging, and stream differencing.
+//
+// # Quick start
+//
+//	s := streamfreq.NewSpaceSaving(1000) // ε = 0.1%
+//	for _, item := range stream {
+//	    s.Update(item, 1)
+//	}
+//	for _, hh := range s.Query(int64(0.01 * float64(s.N()))) {
+//	    fmt.Println(hh.Item, hh.Count)
+//	}
+//
+// Use New(algo, phi, seed) to construct any summary by its paper code
+// ("F", "LC", "LCD", "SSL", "SSH", "CM", "CS", "CMH", "CSH", "CGT")
+// sized for threshold φ, which is how the benchmark harness provisions
+// the contenders fairly.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction results.
+package streamfreq

@@ -1,0 +1,106 @@
+// Distributed: the load-balancing scenario from the paper's introduction.
+// Four database shards each summarize their local access stream,
+// serialize the summary to bytes, and "ship" it to a coordinator, which
+// decodes and merges all four to find the globally hottest keys.
+//
+// This exercises the full distributed pipeline: independent summaries →
+// wire format → decode → merge → global query.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamfreq"
+	"streamfreq/internal/exact"
+	"streamfreq/internal/zipf"
+)
+
+const (
+	shards       = 4
+	opsPerShard  = 250_000
+	phi          = 0.002
+	sketchSeed   = 31337 // every shard must use the same hash seed
+	counterScale = 1     // counters per 1/φ
+)
+
+func main() {
+	truth := exact.New()
+	blobs := make([][]byte, 0, shards)
+
+	// --- At each shard ---------------------------------------------------
+	for shard := 0; shard < shards; shard++ {
+		// Every shard sees the same hot keys (global Zipf) plus a local
+		// suffix of shard-private keys.
+		gen, err := zipf.NewGenerator(1<<18, 1.05, 7, true) // same universe on all shards
+		if err != nil {
+			log.Fatal(err)
+		}
+		local := zipf.Uniform(1<<16, uint64(1000+shard))
+
+		s := streamfreq.NewSpaceSaving(counterScale * int(1/phi))
+		for i := 0; i < opsPerShard; i++ {
+			var key streamfreq.Item
+			if i%5 == shard%5 { // 20% shard-local traffic
+				key = local.Next() | streamfreq.Item(uint64(shard+1)<<60)
+			} else {
+				key = gen.Next()
+			}
+			s.Update(key, 1)
+			truth.Update(key, 1)
+		}
+
+		blob, err := s.MarshalBinary()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("shard %d: summarized %d ops into %d bytes\n", shard, s.N(), len(blob))
+		blobs = append(blobs, blob)
+	}
+
+	// --- At the coordinator ----------------------------------------------
+	decoded := make([]streamfreq.Summary, len(blobs))
+	for i, blob := range blobs {
+		s, err := streamfreq.Decode(blob)
+		if err != nil {
+			log.Fatalf("decoding shard %d: %v", i, err)
+		}
+		decoded[i] = s
+	}
+	global := decoded[0]
+	for _, s := range decoded[1:] {
+		if err := global.(streamfreq.Merger).Merge(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	total := global.N()
+	threshold := int64(phi * float64(total))
+	hot := global.Query(threshold)
+
+	fmt.Printf("\ncoordinator: %d total ops, %d keys above φn = %d\n\n",
+		total, len(hot), threshold)
+	fmt.Println("key                 estimate  exact")
+	for i, ic := range hot {
+		if i >= 10 {
+			fmt.Printf("... (%d more)\n", len(hot)-10)
+			break
+		}
+		fmt.Printf("%#-18x  %8d  %8d\n", uint64(ic.Item), ic.Count, truth.Estimate(ic.Item))
+	}
+
+	// Validation: merged Space-Saving never misses a key above φn.
+	reported := map[streamfreq.Item]bool{}
+	for _, ic := range hot {
+		reported[ic.Item] = true
+	}
+	missed := 0
+	for _, tc := range truth.Query(threshold) {
+		if !reported[tc.Item] {
+			missed++
+		}
+	}
+	fmt.Printf("\nrecall check: %d hot keys missed (must be 0)\n", missed)
+}

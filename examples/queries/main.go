@@ -1,0 +1,130 @@
+// Queries: find the search queries whose popularity changed most between
+// two time windows — the max-change problem of Charikar, Chen &
+// Farach-Colton §4.2, and the "Google Zeitgeist" motivation of the
+// original Count-Sketch paper.
+//
+// Window 1 and window 2 are sketched independently with identical
+// Count-Sketch parameters. Subtracting the sketches yields a sketch of
+// the frequency *difference* vector; the largest |estimates| are the
+// trending (or collapsing) queries.
+//
+//	go run ./examples/queries
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"streamfreq"
+	"streamfreq/internal/sketches"
+	"streamfreq/internal/trace"
+)
+
+func main() {
+	const (
+		window = 400_000
+		topK   = 8
+	)
+
+	// Identical parameters (and seed) make the two sketches subtractable.
+	newSketch := func() *trackedCS {
+		return &trackedCS{cs: streamfreq.NewCountSketch(7, 4096, 99)}
+	}
+	w1, w2 := newSketch(), newSketch()
+
+	// Window 1: the base query distribution.
+	gen, err := trace.NewHTTP(trace.DefaultHTTPConfig(2024))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < window; i++ {
+		w1.update(gen.Next())
+	}
+
+	// Window 2: same distribution plus a breaking-news surge and one
+	// formerly popular query going quiet.
+	surging := streamfreq.Item(0xBEEFCAFE)
+	for i := 0; i < window; i++ {
+		q := gen.Next()
+		if i%40 == 0 { // 2.5% of window-2 traffic is the surging query
+			q = surging
+		}
+		w2.update(q)
+	}
+
+	// Difference sketch: w2 − w1.
+	if err := w2.cs.Subtract(w1.cs); err != nil {
+		log.Fatal(err)
+	}
+
+	// Candidate set: queries seen in either window (both windows tracked
+	// their heavy queries; the union is the §4.2 second-pass candidate
+	// list).
+	candidates := map[streamfreq.Item]bool{surging: true}
+	for _, it := range w1.seen {
+		candidates[it] = true
+	}
+	for _, it := range w2.seen {
+		candidates[it] = true
+	}
+
+	type change struct {
+		item  streamfreq.Item
+		delta int64
+	}
+	var changes []change
+	for it := range candidates {
+		d := w2.cs.Estimate(it)
+		changes = append(changes, change{it, d})
+	}
+	sort.Slice(changes, func(i, j int) bool {
+		return abs(changes[i].delta) > abs(changes[j].delta)
+	})
+
+	fmt.Printf("top-%d frequency changes between windows (%d queries candidate set):\n\n",
+		topK, len(candidates))
+	fmt.Println("query               Δ estimate   direction")
+	for i, c := range changes {
+		if i >= topK {
+			break
+		}
+		dir := "rising"
+		if c.delta < 0 {
+			dir = "falling"
+		}
+		marker := ""
+		if c.item == surging {
+			marker = "   <- planted surge"
+		}
+		fmt.Printf("%#-18x  %+10d   %s%s\n", uint64(c.item), c.delta, dir, marker)
+	}
+}
+
+// trackedCS pairs a Count Sketch with a bounded sample of heavy queries
+// seen, which serves as the candidate list for the change scan.
+type trackedCS struct {
+	cs    *sketches.CountSketch
+	seen  []streamfreq.Item
+	dedup map[streamfreq.Item]bool
+}
+
+func (t *trackedCS) update(q streamfreq.Item) {
+	t.cs.Update(q, 1)
+	if t.dedup == nil {
+		t.dedup = map[streamfreq.Item]bool{}
+	}
+	// Keep the first few thousand distinct queries as candidates; a
+	// production system would use the paper's heap of top estimates.
+	if !t.dedup[q] && len(t.seen) < 4000 {
+		t.dedup[q] = true
+		t.seen = append(t.seen, q)
+	}
+}
+
+func abs(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,143 @@
+package streamfreq
+
+import (
+	"streamfreq/internal/core"
+	"streamfreq/internal/counters"
+	"streamfreq/internal/quantile"
+	"streamfreq/internal/sketches"
+	"streamfreq/internal/window"
+)
+
+// Item identifies a stream element.
+type Item = core.Item
+
+// ItemCount pairs an item with an estimated or exact count.
+type ItemCount = core.ItemCount
+
+// Summary is the interface implemented by every algorithm: see
+// core.Summary for the full contract.
+type Summary = core.Summary
+
+// Merger is implemented by summaries that combine with a same-typed,
+// same-parameter summary.
+type Merger = core.Merger
+
+// Subtractor is implemented by linear sketches that can compute stream
+// differences.
+type Subtractor = core.Subtractor
+
+// ErrIncompatible is returned by Merge and Subtract when operands don't
+// match.
+var ErrIncompatible = core.ErrIncompatible
+
+// NewFrequent returns the Misra–Gries summary ("F") with k counters:
+// deterministic, insert-only, estimates underestimate by at most n/(k+1).
+func NewFrequent(k int) *counters.Frequent { return counters.NewFrequent(k) }
+
+// NewLossyCounting returns the Manku–Motwani summary ("LC") with error
+// parameter epsilon; estimates underestimate by at most εn.
+func NewLossyCounting(epsilon float64) *counters.LossyCounting {
+	return counters.NewLossyCounting(epsilon, counters.VariantLC)
+}
+
+// NewLossyCountingD returns the LCD variant, which reports count+Δ upper
+// bounds instead of observed counts.
+func NewLossyCountingD(epsilon float64) *counters.LossyCounting {
+	return counters.NewLossyCounting(epsilon, counters.VariantLCD)
+}
+
+// NewSpaceSaving returns the Space-Saving summary with a min-heap
+// ("SSH") and k counters: deterministic, insert-only, estimates
+// overestimate by at most n/k.
+func NewSpaceSaving(k int) *counters.SpaceSavingHeap {
+	return counters.NewSpaceSavingHeap(k)
+}
+
+// NewSpaceSavingList returns the Stream-Summary (linked-list) variant
+// ("SSL") of Space-Saving, with O(1) unit updates.
+func NewSpaceSavingList(k int) *counters.SpaceSavingList {
+	return counters.NewSpaceSavingList(k)
+}
+
+// NewStickySampling returns the Manku–Motwani probabilistic baseline.
+func NewStickySampling(support, epsilon, delta float64, seed uint64) *counters.StickySampling {
+	return counters.NewStickySampling(support, epsilon, delta, seed)
+}
+
+// NewFilteredSpaceSaving returns the Filtered Space-Saving refinement
+// (extension; Homem & Carvalho 2010): a hashed error filter in front of
+// the monitored set cuts spurious replacements on low-skew streams.
+// filterCells = 0 selects the recommended 8k cells.
+func NewFilteredSpaceSaving(k, filterCells int, seed uint64) *counters.FilteredSpaceSaving {
+	return counters.NewFilteredSpaceSaving(k, filterCells, seed)
+}
+
+// NewCountMin returns a depth×width Count-Min sketch ("CM"). Flat
+// sketches answer point queries only; combine with NewTracked or use
+// NewCountMinHierarchy for heavy-hitter queries.
+func NewCountMin(depth, width int, seed uint64) *sketches.CountMin {
+	return sketches.NewCountMin(depth, width, seed)
+}
+
+// NewCountMinConservative returns the conservative-update ablation
+// variant ("CMC").
+func NewCountMinConservative(depth, width int, seed uint64) *sketches.CountMin {
+	return sketches.NewCountMinConservative(depth, width, seed)
+}
+
+// NewCountSketch returns a depth×width Count Sketch ("CS").
+func NewCountSketch(depth, width int, seed uint64) *sketches.CountSketch {
+	return sketches.NewCountSketch(depth, width, seed)
+}
+
+// HierarchyConfig re-exports the hierarchical sketch configuration.
+type HierarchyConfig = sketches.HierarchyConfig
+
+// NewCountMinHierarchy returns the paper's CMH structure: a dyadic stack
+// of Count-Min sketches supporting threshold queries over the universe.
+func NewCountMinHierarchy(cfg HierarchyConfig) (*sketches.Hierarchical, error) {
+	return sketches.NewCountMinHierarchy(cfg)
+}
+
+// NewCountSketchHierarchy returns the Count-Sketch equivalent ("CSH").
+func NewCountSketchHierarchy(cfg HierarchyConfig) (*sketches.Hierarchical, error) {
+	return sketches.NewCountSketchHierarchy(cfg)
+}
+
+// NewCGT returns the Combinatorial Group Testing sketch.
+func NewCGT(depth, width int, universeBits uint, seed uint64) *sketches.CGT {
+	return sketches.NewCGT(depth, width, universeBits, seed)
+}
+
+// NewTracked wraps a flat sketch with the Charikar et al. top-capacity
+// heap, turning point estimates into heavy-hitter reports.
+func NewTracked(inner Summary, capacity int) *core.Tracked {
+	return core.NewTracked(inner, capacity)
+}
+
+// NewConcurrent makes any summary safe for concurrent use.
+func NewConcurrent(inner Summary) *core.Concurrent { return core.NewConcurrent(inner) }
+
+// NewSharded partitions ingest across a power-of-two number of
+// independently locked summaries.
+func NewSharded(shards int, factory func() Summary) *core.Sharded {
+	return core.NewSharded(shards, factory)
+}
+
+// NewWindow returns a sliding-window heavy-hitter summary over the most
+// recent size items, using blocks Space-Saving summaries of k counters
+// each (extension; see internal/window).
+func NewWindow(size, blocks, k int) (*window.Window, error) {
+	return window.New(size, blocks, k)
+}
+
+// NewQuantile returns a Greenwald–Khanna ε-approximate quantile summary,
+// the companion summary class of the frequent-items toolbox.
+func NewQuantile(epsilon float64) *quantile.GK { return quantile.New(epsilon) }
+
+// HashString maps a string key (search query, URL, flow tuple) to an
+// Item; HashBytes is the []byte equivalent.
+func HashString(key string) Item { return core.HashString(key) }
+
+// HashBytes maps a byte-slice key to an Item.
+func HashBytes(key []byte) Item { return core.HashBytes(key) }

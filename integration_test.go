@@ -1,0 +1,210 @@
+package streamfreq
+
+// Cross-module integration tests: every registered algorithm against
+// exact truth on each workload family, exercising generator → summary →
+// metrics end to end (the same path the harness uses, asserted at test
+// granularity).
+
+import (
+	"fmt"
+	"testing"
+
+	"streamfreq/internal/exact"
+	"streamfreq/internal/metrics"
+	"streamfreq/internal/trace"
+	"streamfreq/internal/zipf"
+)
+
+type workload struct {
+	name string
+	gen  func(n int) []Item
+	// minPrecision is the weakest acceptable precision for sketches on
+	// this workload at the test scale; counter-based algorithms are held
+	// to a higher bar in-loop.
+	minPrecision float64
+}
+
+func workloads(t *testing.T) []workload {
+	t.Helper()
+	return []workload{
+		{
+			name: "zipf-1.1",
+			gen: func(n int) []Item {
+				g, err := zipf.NewGenerator(1<<14, 1.1, 11, true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return g.Stream(n)
+			},
+			minPrecision: 0.5,
+		},
+		{
+			name: "http",
+			gen: func(n int) []Item {
+				cfg := trace.DefaultHTTPConfig(13)
+				cfg.Objects = 1 << 14
+				g, err := trace.NewHTTP(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return g.Stream(n)
+			},
+			minPrecision: 0.4,
+		},
+		{
+			name: "udp",
+			gen: func(n int) []Item {
+				cfg := trace.DefaultUDPConfig(17)
+				cfg.ActiveFlows = 512
+				g, err := trace.NewUDP(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return g.Stream(n)
+			},
+			minPrecision: 0.4,
+		},
+	}
+}
+
+func TestAllAlgorithmsAllWorkloads(t *testing.T) {
+	const (
+		n   = 60_000
+		phi = 0.005
+	)
+	for _, wl := range workloads(t) {
+		stream := wl.gen(n)
+		truth := exact.New()
+		for _, it := range stream {
+			truth.Update(it, 1)
+		}
+		threshold := int64(phi * n)
+		truthMap := metrics.TruthMap(truth.TopK(truth.Distinct()), threshold)
+
+		for _, algo := range Algorithms() {
+			t.Run(fmt.Sprintf("%s/%s", wl.name, algo), func(t *testing.T) {
+				s := MustNew(algo, phi, 23)
+				for _, it := range stream {
+					s.Update(it, 1)
+				}
+				acc := metrics.Evaluate(s.Query(threshold), truthMap)
+
+				if CounterBased(algo) {
+					// Recall is the deterministic guarantee; precision
+					// depends on how many items sit just below φn in the
+					// workload, so it shares the per-workload floor.
+					if acc.Recall < 0.999 {
+						t.Errorf("recall %.3f; counter-based must not miss", acc.Recall)
+					}
+					if acc.Precision < wl.minPrecision {
+						t.Errorf("precision %.3f below workload floor %.2f", acc.Precision, wl.minPrecision)
+					}
+				} else {
+					if acc.Recall < 0.8 {
+						t.Errorf("recall %.3f below 0.8", acc.Recall)
+					}
+					if acc.Precision < wl.minPrecision {
+						t.Errorf("precision %.3f below workload floor %.2f", acc.Precision, wl.minPrecision)
+					}
+				}
+				if s.N() != int64(n) {
+					t.Errorf("N = %d, want %d", s.N(), n)
+				}
+			})
+		}
+	}
+}
+
+func TestMergeableAlgorithmsShardConsistency(t *testing.T) {
+	// Shard → merge → query must retain counter-based recall and sketch
+	// exactness on every workload.
+	const (
+		n      = 40_000
+		phi    = 0.005
+		shards = 4
+	)
+	for _, wl := range workloads(t) {
+		stream := wl.gen(n)
+		truth := exact.New()
+		for _, it := range stream {
+			truth.Update(it, 1)
+		}
+		threshold := int64(phi * n)
+		truthMap := metrics.TruthMap(truth.TopK(truth.Distinct()), threshold)
+
+		for _, algo := range []string{"F", "SSH", "LC", "CM", "CMH", "CGT"} {
+			t.Run(fmt.Sprintf("%s/%s", wl.name, algo), func(t *testing.T) {
+				parts := make([]Summary, shards)
+				for i := range parts {
+					parts[i] = MustNew(algo, phi, 29)
+				}
+				for i, it := range stream {
+					parts[i%shards].Update(it, 1)
+				}
+				merged := parts[0]
+				for _, p := range parts[1:] {
+					if err := merged.(Merger).Merge(p); err != nil {
+						t.Fatal(err)
+					}
+				}
+				acc := metrics.Evaluate(merged.Query(threshold), truthMap)
+				if acc.Recall < 0.999 {
+					t.Errorf("merged recall %.3f", acc.Recall)
+				}
+			})
+		}
+	}
+}
+
+func TestSerializeShipDecodeQueryPipeline(t *testing.T) {
+	// The full distributed pipeline for every wire format, on a real
+	// workload: summarize → marshal → decode → merge with a fresh
+	// summary → query.
+	const n = 20_000
+	stream := workloads(t)[0].gen(n)
+
+	mk := map[string]func() Summary{
+		"F":   func() Summary { return NewFrequent(200) },
+		"SSH": func() Summary { return NewSpaceSaving(200) },
+		"LC":  func() Summary { return NewLossyCounting(0.005) },
+		"CM":  func() Summary { return NewCountMin(4, 512, 7) },
+		"CS":  func() Summary { return NewCountSketch(5, 512, 7) },
+		"CGT": func() Summary { return NewCGT(3, 256, 64, 7) },
+	}
+	for name, factory := range mk {
+		t.Run(name, func(t *testing.T) {
+			a, b := factory(), factory()
+			for i, it := range stream {
+				if i%2 == 0 {
+					a.Update(it, 1)
+				} else {
+					b.Update(it, 1)
+				}
+			}
+			blob, err := a.(interface{ MarshalBinary() ([]byte, error) }).MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := Decode(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := decoded.(Merger).Merge(b); err != nil {
+				t.Fatal(err)
+			}
+			if decoded.N() != int64(n) {
+				t.Errorf("pipeline N = %d, want %d", decoded.N(), n)
+			}
+			// The hottest item of the stream must be visible post-pipeline.
+			truth := exact.New()
+			for _, it := range stream {
+				truth.Update(it, 1)
+			}
+			top := truth.TopK(1)[0]
+			est := decoded.Estimate(top.Item)
+			if est < top.Count/2 {
+				t.Errorf("top item estimated %d, true %d", est, top.Count)
+			}
+		})
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sync"
+)
+
+// Concurrent makes any Summary safe for concurrent use by guarding it
+// with a mutex. For higher ingest parallelism use Sharded, which
+// partitions the stream across independent summaries and merges at query
+// time.
+type Concurrent struct {
+	mu    sync.Mutex
+	inner Summary
+}
+
+// NewConcurrent wraps inner with a mutex.
+func NewConcurrent(inner Summary) *Concurrent {
+	return &Concurrent{inner: inner}
+}
+
+// Name implements Summary.
+func (c *Concurrent) Name() string { return c.inner.Name() }
+
+// Update implements Summary.
+func (c *Concurrent) Update(x Item, count int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inner.Update(x, count)
+}
+
+// Estimate implements Summary.
+func (c *Concurrent) Estimate(x Item) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.Estimate(x)
+}
+
+// Query implements Summary.
+func (c *Concurrent) Query(threshold int64) []ItemCount {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.Query(threshold)
+}
+
+// N implements Summary.
+func (c *Concurrent) N() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.N()
+}
+
+// Bytes implements Summary.
+func (c *Concurrent) Bytes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.Bytes()
+}
+
+// Sharded partitions updates across s independent summaries by a cheap
+// item hash, so concurrent writers rarely contend, and answers queries by
+// merging shard clones. The factory must produce mergeable summaries with
+// identical parameters (for sketches, identical seeds).
+//
+// Sharding by item (not round-robin) keeps each item's entire count in a
+// single shard, so per-shard guarantees translate to global guarantees
+// with per-shard error ε_shard = ε (each shard sees a substream).
+type Sharded struct {
+	shards []*Concurrent
+	mask   uint64
+}
+
+// NewSharded builds a sharded summary with shards power-of-two workers.
+func NewSharded(shards int, factory func() Summary) *Sharded {
+	if shards <= 0 || shards&(shards-1) != 0 {
+		panic("core: Sharded requires a positive power-of-two shard count")
+	}
+	s := &Sharded{mask: uint64(shards - 1)}
+	for i := 0; i < shards; i++ {
+		s.shards = append(s.shards, NewConcurrent(factory()))
+	}
+	return s
+}
+
+// Name implements Summary.
+func (s *Sharded) Name() string { return s.shards[0].Name() + "-sharded" }
+
+func (s *Sharded) shard(x Item) *Concurrent {
+	// SplitMix64 finalizer spreads low-entropy item spaces across shards.
+	v := uint64(x)
+	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+	v ^= v >> 31
+	return s.shards[v&s.mask]
+}
+
+// Update routes the arrival to its item's shard.
+func (s *Sharded) Update(x Item, count int64) { s.shard(x).Update(x, count) }
+
+// Estimate queries the item's shard.
+func (s *Sharded) Estimate(x Item) int64 { return s.shard(x).Estimate(x) }
+
+// N sums the shard totals.
+func (s *Sharded) N() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.N()
+	}
+	return n
+}
+
+// Query gathers every shard's report. Because each item lives wholly in
+// one shard, the union is the correct global report.
+func (s *Sharded) Query(threshold int64) []ItemCount {
+	var out []ItemCount
+	for _, sh := range s.shards {
+		out = append(out, sh.Query(threshold)...)
+	}
+	SortByCountDesc(out)
+	return out
+}
+
+// Bytes sums the shard footprints.
+func (s *Sharded) Bytes() int {
+	total := 0
+	for _, sh := range s.shards {
+		total += sh.Bytes()
+	}
+	return total
+}

@@ -1,0 +1,45 @@
+package core
+
+// String keys. The algorithms operate on 64-bit Item identifiers; real
+// deployments stream strings (search queries, URLs, flow 5-tuples).
+// HashBytes folds arbitrary byte keys to Items with FNV-1a strengthened
+// by a 64-bit finalizer, matching how the paper's query-log experiments
+// pre-hash their inputs.
+//
+// Collisions merge two keys' counts. With a 64-bit digest, a stream of a
+// billion distinct keys collides with probability < 3·10⁻², and any
+// specific pair with probability 2⁻⁶⁴ — far below the summaries' own
+// error terms.
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// HashBytes maps a byte key to an Item.
+func HashBytes(key []byte) Item {
+	var h uint64 = fnvOffset
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	return Item(mix(h))
+}
+
+// HashString maps a string key to an Item without allocating.
+func HashString(key string) Item {
+	var h uint64 = fnvOffset
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	return Item(mix(h))
+}
+
+// mix is the SplitMix64 finalizer: FNV-1a alone has weak low-bit
+// avalanche for short keys, which would bias sketch bucket hashes.
+func mix(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

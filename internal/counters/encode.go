@@ -1,0 +1,239 @@
+package counters
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"streamfreq/internal/core"
+)
+
+// Binary serialization for counter-based summaries, used when shipping
+// per-shard summaries to a coordinator for merging. Formats are versioned
+// by a 4-byte magic and little-endian throughout.
+
+const (
+	magicFQ = "FQ01"
+	magicSS = "SS01"
+	magicLC = "LC01"
+)
+
+// maxEntries bounds decoded entry counts against corrupt headers.
+const maxEntries = 1 << 22
+
+type entWriter struct{ buf bytes.Buffer }
+
+func (w *entWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.buf.Write(b[:])
+}
+
+func (w *entWriter) i64(v int64) { w.u64(uint64(v)) }
+
+type entReader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *entReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos+8 > len(r.data) {
+		r.err = fmt.Errorf("counters: truncated payload at offset %d", r.pos)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.pos:])
+	r.pos += 8
+	return v
+}
+
+func (r *entReader) i64() int64 { return int64(r.u64()) }
+
+func (r *entReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.pos != len(r.data) {
+		return fmt.Errorf("counters: %d trailing bytes", len(r.data)-r.pos)
+	}
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler. Logical counts are
+// stored (the offset is folded in), so the decoded summary is logically
+// identical with offset zero.
+func (f *Frequent) MarshalBinary() ([]byte, error) {
+	var w entWriter
+	w.buf.WriteString(magicFQ)
+	w.u64(uint64(f.k))
+	w.i64(f.n)
+	w.i64(f.decs)
+	w.u64(uint64(len(f.heap)))
+	for _, e := range f.heap {
+		w.u64(uint64(e.item))
+		w.i64(e.count - f.offset)
+	}
+	return w.buf.Bytes(), nil
+}
+
+// DecodeFrequent parses a summary produced by (*Frequent).MarshalBinary.
+func DecodeFrequent(data []byte) (*Frequent, error) {
+	if len(data) < 4 || string(data[:4]) != magicFQ {
+		return nil, fmt.Errorf("counters: not a Frequent blob")
+	}
+	r := entReader{data: data[4:]}
+	k := r.u64()
+	n := r.i64()
+	decs := r.i64()
+	cnt := r.u64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if k == 0 || k > maxEntries || cnt > k {
+		return nil, fmt.Errorf("counters: implausible Frequent header (k=%d, entries=%d)", k, cnt)
+	}
+	// Validate the payload length before allocating k-sized structures.
+	if remaining := len(r.data) - r.pos; uint64(remaining) != cnt*16 {
+		return nil, fmt.Errorf("counters: Frequent payload %d bytes, want %d", remaining, cnt*16)
+	}
+	f := NewFrequent(int(k))
+	f.n = n
+	f.decs = decs
+	for i := uint64(0); i < cnt; i++ {
+		item := core.Item(r.u64())
+		count := r.i64()
+		if count <= 0 {
+			return nil, fmt.Errorf("counters: non-positive stored count %d", count)
+		}
+		e := &entry{item: item, count: count}
+		f.index[item] = e
+		f.heap.push(e)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	if len(f.index) != len(f.heap) {
+		return nil, fmt.Errorf("counters: duplicate items in Frequent blob")
+	}
+	return f, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *SpaceSavingHeap) MarshalBinary() ([]byte, error) {
+	var w entWriter
+	w.buf.WriteString(magicSS)
+	w.u64(uint64(s.k))
+	w.i64(s.n)
+	w.u64(uint64(len(s.heap)))
+	for _, e := range s.heap {
+		w.u64(uint64(e.item))
+		w.i64(e.count)
+		w.i64(e.err)
+	}
+	return w.buf.Bytes(), nil
+}
+
+// DecodeSpaceSavingHeap parses a summary produced by
+// (*SpaceSavingHeap).MarshalBinary.
+func DecodeSpaceSavingHeap(data []byte) (*SpaceSavingHeap, error) {
+	if len(data) < 4 || string(data[:4]) != magicSS {
+		return nil, fmt.Errorf("counters: not a SpaceSaving blob")
+	}
+	r := entReader{data: data[4:]}
+	k := r.u64()
+	n := r.i64()
+	cnt := r.u64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if k == 0 || k > maxEntries || cnt > k {
+		return nil, fmt.Errorf("counters: implausible SpaceSaving header (k=%d, entries=%d)", k, cnt)
+	}
+	if remaining := len(r.data) - r.pos; uint64(remaining) != cnt*24 {
+		return nil, fmt.Errorf("counters: SpaceSaving payload %d bytes, want %d", remaining, cnt*24)
+	}
+	s := NewSpaceSavingHeap(int(k))
+	s.n = n
+	for i := uint64(0); i < cnt; i++ {
+		item := core.Item(r.u64())
+		count := r.i64()
+		errv := r.i64()
+		if count < 0 || errv < 0 || errv > count {
+			return nil, fmt.Errorf("counters: invalid SpaceSaving entry (count=%d err=%d)", count, errv)
+		}
+		e := &entry{item: item, count: count, err: errv}
+		s.index[item] = e
+		s.heap.push(e)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	if len(s.index) != len(s.heap) {
+		return nil, fmt.Errorf("counters: duplicate items in SpaceSaving blob")
+	}
+	return s, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (l *LossyCounting) MarshalBinary() ([]byte, error) {
+	var w entWriter
+	w.buf.WriteString(magicLC)
+	w.u64(math.Float64bits(l.epsilon))
+	w.u64(uint64(l.variant))
+	w.i64(l.n)
+	w.u64(uint64(len(l.index)))
+	for it, e := range l.index {
+		w.u64(uint64(it))
+		w.i64(e.count)
+		w.i64(e.delta)
+	}
+	return w.buf.Bytes(), nil
+}
+
+// DecodeLossyCounting parses a summary produced by
+// (*LossyCounting).MarshalBinary.
+func DecodeLossyCounting(data []byte) (*LossyCounting, error) {
+	if len(data) < 4 || string(data[:4]) != magicLC {
+		return nil, fmt.Errorf("counters: not a LossyCounting blob")
+	}
+	r := entReader{data: data[4:]}
+	eps := math.Float64frombits(r.u64())
+	variant := r.u64()
+	n := r.i64()
+	cnt := r.u64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if !(eps > 0 && eps < 1) || variant > 1 || cnt > maxEntries {
+		return nil, fmt.Errorf("counters: implausible LossyCounting header (ε=%v variant=%d entries=%d)", eps, variant, cnt)
+	}
+	if remaining := len(r.data) - r.pos; uint64(remaining) != cnt*24 {
+		return nil, fmt.Errorf("counters: LossyCounting payload %d bytes, want %d", remaining, cnt*24)
+	}
+	l := NewLossyCounting(eps, LCVariant(variant))
+	l.n = n
+	l.bucket = (n + l.width - 1) / l.width
+	if l.bucket < 1 {
+		l.bucket = 1
+	}
+	for i := uint64(0); i < cnt; i++ {
+		item := core.Item(r.u64())
+		count := r.i64()
+		delta := r.i64()
+		if count <= 0 || delta < 0 {
+			return nil, fmt.Errorf("counters: invalid LossyCounting entry (count=%d Δ=%d)", count, delta)
+		}
+		if _, dup := l.index[item]; dup {
+			return nil, fmt.Errorf("counters: duplicate item in LossyCounting blob")
+		}
+		l.index[item] = &lcEntry{count: count, delta: delta}
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}

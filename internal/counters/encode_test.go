@@ -1,0 +1,149 @@
+package counters
+
+import (
+	"testing"
+
+	"streamfreq/internal/zipf"
+)
+
+func TestFrequentRoundTrip(t *testing.T) {
+	f := NewFrequent(32)
+	g, _ := zipf.NewGenerator(500, 1.1, 3, true)
+	for i := 0; i < 20000; i++ {
+		f.Update(g.Next(), 1)
+	}
+	blob, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrequent(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != f.N() || got.K() != f.K() || got.MaxError() != f.MaxError() {
+		t.Fatal("metadata lost in round trip")
+	}
+	for r := 1; r <= 500; r++ {
+		it := g.ItemOfRank(r)
+		if got.Estimate(it) != f.Estimate(it) {
+			t.Fatalf("estimate mismatch for item %d", it)
+		}
+	}
+	// Decoded summary must continue to work.
+	got.Update(g.ItemOfRank(1), 5)
+	if got.Estimate(g.ItemOfRank(1)) != f.Estimate(g.ItemOfRank(1))+5 {
+		t.Error("decoded summary broken after further updates")
+	}
+}
+
+func TestSpaceSavingRoundTrip(t *testing.T) {
+	s := NewSpaceSavingHeap(40)
+	g, _ := zipf.NewGenerator(600, 1.2, 7, true)
+	for i := 0; i < 30000; i++ {
+		s.Update(g.Next(), 1)
+	}
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSpaceSavingHeap(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != s.N() || got.Min() != s.Min() {
+		t.Fatal("metadata lost")
+	}
+	for r := 1; r <= 600; r++ {
+		it := g.ItemOfRank(r)
+		if got.Estimate(it) != s.Estimate(it) || got.GuaranteedCount(it) != s.GuaranteedCount(it) {
+			t.Fatalf("estimate mismatch for item %d", it)
+		}
+	}
+}
+
+func TestLossyCountingRoundTrip(t *testing.T) {
+	for _, v := range []LCVariant{VariantLC, VariantLCD} {
+		l := NewLossyCounting(0.005, v)
+		g, _ := zipf.NewGenerator(400, 1.0, 9, true)
+		for i := 0; i < 25000; i++ {
+			l.Update(g.Next(), 1)
+		}
+		blob, err := l.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeLossyCounting(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Name() != l.Name() || got.N() != l.N() || got.EntryCount() != l.EntryCount() {
+			t.Fatal("metadata lost")
+		}
+		for r := 1; r <= 400; r++ {
+			it := g.ItemOfRank(r)
+			if got.Estimate(it) != l.Estimate(it) {
+				t.Fatalf("estimate mismatch for item %d", it)
+			}
+		}
+	}
+}
+
+func TestCounterDecodeRejectsCorruption(t *testing.T) {
+	f := NewFrequent(8)
+	f.Update(1, 5)
+	f.Update(2, 3)
+	fb, _ := f.MarshalBinary()
+
+	s := NewSpaceSavingHeap(8)
+	s.Update(1, 5)
+	sb, _ := s.MarshalBinary()
+
+	l := NewLossyCounting(0.1, VariantLC)
+	l.Update(1, 5)
+	lb, _ := l.MarshalBinary()
+
+	if _, err := DecodeFrequent(fb[:len(fb)-3]); err == nil {
+		t.Error("truncated Frequent accepted")
+	}
+	if _, err := DecodeFrequent(sb); err == nil {
+		t.Error("Frequent decoder accepted SpaceSaving blob")
+	}
+	if _, err := DecodeSpaceSavingHeap(lb); err == nil {
+		t.Error("SpaceSaving decoder accepted LossyCounting blob")
+	}
+	if _, err := DecodeLossyCounting(append(lb, 9)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	if _, err := DecodeLossyCounting([]byte("LC01")); err == nil {
+		t.Error("header-only blob accepted")
+	}
+
+	// Forged entry count exceeding k must be rejected.
+	forged := append([]byte{}, fb...)
+	forged[4+24] = 0xFF // entries field low byte
+	if _, err := DecodeFrequent(forged); err == nil {
+		t.Error("forged entry count accepted")
+	}
+}
+
+func TestCounterRoundTripPreservesMergeability(t *testing.T) {
+	a := NewSpaceSavingHeap(16)
+	b := NewSpaceSavingHeap(16)
+	g, _ := zipf.NewGenerator(100, 1.0, 11, true)
+	for i := 0; i < 5000; i++ {
+		it := g.Next()
+		a.Update(it, 1)
+		b.Update(it, 1)
+	}
+	blob, _ := a.MarshalBinary()
+	decoded, err := DecodeSpaceSavingHeap(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := decoded.Merge(b); err != nil {
+		t.Fatalf("decoded summary not mergeable: %v", err)
+	}
+	if decoded.N() != a.N()+b.N() {
+		t.Errorf("merged N = %d, want %d", decoded.N(), a.N()+b.N())
+	}
+}

@@ -1,0 +1,185 @@
+package counters
+
+import (
+	"streamfreq/internal/core"
+)
+
+// Frequent implements the Misra–Gries algorithm ("F" in the paper), the
+// generalization of the Boyer–Moore majority algorithm to k counters.
+//
+// Invariant: for every item x, true(x) − n/(k+1) ≤ Estimate(x) ≤ true(x).
+// Consequently every item with true count > n/(k+1) is present, which with
+// k = ⌈1/ε⌉ counters solves the ε-approximate frequent-items problem with
+// perfect recall when queries compensate for the deficit (see Query).
+//
+// The textbook algorithm decrements *all* counters when a new item
+// arrives and no slot is free, which is Θ(k) per eviction. This
+// implementation uses the standard offset trick to make updates
+// O(log k): a global offset δ is added to all logical counts, so
+// "decrement everything by m" is just δ += m followed by evicting entries
+// whose stored count has fallen to δ, which sit at the top of a min-heap.
+type Frequent struct {
+	k      int
+	index  map[core.Item]*entry
+	heap   minHeap
+	offset int64 // logical count of entry e is e.count − offset
+	n      int64
+	decs   int64 // total decrement mass, for diagnostics and tests
+}
+
+// NewFrequent returns a Misra–Gries summary with k counters. k must be
+// positive.
+func NewFrequent(k int) *Frequent {
+	if k <= 0 {
+		panic("counters: Frequent requires k > 0")
+	}
+	return &Frequent{
+		k:     k,
+		index: make(map[core.Item]*entry, k),
+	}
+}
+
+// Name implements core.Summary.
+func (f *Frequent) Name() string { return "F" }
+
+// K returns the counter budget.
+func (f *Frequent) K() int { return f.k }
+
+// N implements core.Summary.
+func (f *Frequent) N() int64 { return f.n }
+
+// Update processes count arrivals of x. count must be positive.
+func (f *Frequent) Update(x core.Item, count int64) {
+	mustPositive("Frequent", count)
+	f.n += count
+
+	if e, ok := f.index[x]; ok {
+		e.count += count
+		f.heap.fix(e.idx)
+		return
+	}
+	if len(f.heap) < f.k {
+		e := &entry{item: x, count: f.offset + count}
+		f.index[x] = e
+		f.heap.push(e)
+		return
+	}
+	// All k slots taken: decrement all logical counts by
+	// m = min(count, smallest logical count). If the new item's mass
+	// survives (count > m), it replaces an evicted zero entry.
+	minLogical := f.heap[0].count - f.offset
+	m := count
+	if minLogical < m {
+		m = minLogical
+	}
+	f.offset += m
+	f.decs += m
+	// Evict entries whose logical count reached zero.
+	freed := false
+	for len(f.heap) > 0 && f.heap[0].count <= f.offset {
+		ev := f.heap.pop()
+		delete(f.index, ev.item)
+		freed = true
+	}
+	if count > m {
+		if !freed {
+			// Cannot happen: count > m implies m == minLogical, so the
+			// minimum entry hit zero and was evicted.
+			panic("counters: Frequent invariant violated (no slot freed)")
+		}
+		e := &entry{item: x, count: f.offset + (count - m)}
+		f.index[x] = e
+		f.heap.push(e)
+	}
+}
+
+// Estimate returns the Misra–Gries lower-bound estimate of x's count
+// (0 when x is not tracked). It never overestimates.
+func (f *Frequent) Estimate(x core.Item) int64 {
+	if e, ok := f.index[x]; ok {
+		return e.count - f.offset
+	}
+	return 0
+}
+
+// MaxError returns the maximum amount by which any estimate can fall
+// short of the true count: the total decrement mass, itself bounded by
+// n/(k+1).
+func (f *Frequent) MaxError() int64 { return f.decs }
+
+// Query returns the tracked items whose count *may* reach threshold,
+// i.e. Estimate(x) + MaxError() ≥ threshold, in descending estimate
+// order. This is the compensation rule that gives Misra–Gries perfect
+// recall at threshold φn when k ≥ 1/φ.
+func (f *Frequent) Query(threshold int64) []core.ItemCount {
+	var out []core.ItemCount
+	for _, e := range f.heap {
+		est := e.count - f.offset
+		if est+f.decs >= threshold {
+			out = append(out, core.ItemCount{Item: e.item, Count: est})
+		}
+	}
+	core.SortByCountDesc(out)
+	return out
+}
+
+// Entries returns all tracked (item, estimate) pairs in descending order.
+func (f *Frequent) Entries() []core.ItemCount {
+	out := make([]core.ItemCount, 0, len(f.heap))
+	for _, e := range f.heap {
+		out = append(out, core.ItemCount{Item: e.item, Count: e.count - f.offset})
+	}
+	core.SortByCountDesc(out)
+	return out
+}
+
+// Bytes implements core.Summary.
+func (f *Frequent) Bytes() int { return entryBytes * f.k }
+
+// Merge combines another Frequent summary into this one using the
+// Agarwal et al. mergeable-summaries rule: sum matching counters, then
+// reduce back to k counters by subtracting the (k+1)-largest combined
+// count from everything and dropping non-positive entries. The merged
+// summary obeys the Misra–Gries guarantee for the concatenated stream.
+func (f *Frequent) Merge(other core.Summary) error {
+	o, ok := other.(*Frequent)
+	if !ok {
+		return core.Incompatible("Frequent: cannot merge %T", other)
+	}
+	combined := make(map[core.Item]int64, len(f.index)+len(o.index))
+	for it, e := range f.index {
+		combined[it] = e.count - f.offset
+	}
+	for it, e := range o.index {
+		combined[it] += e.count - o.offset
+	}
+	all := make([]core.ItemCount, 0, len(combined))
+	for it, c := range combined {
+		all = append(all, core.ItemCount{Item: it, Count: c})
+	}
+	core.SortByCountDesc(all)
+
+	var sub int64
+	if len(all) > f.k {
+		sub = all[f.k].Count
+	}
+	// Rebuild.
+	f.index = make(map[core.Item]*entry, f.k)
+	f.heap = f.heap[:0]
+	f.offset = 0
+	for i, ic := range all {
+		if i >= f.k {
+			break
+		}
+		c := ic.Count - sub
+		if c <= 0 {
+			break
+		}
+		e := &entry{item: ic.Item, count: c}
+		f.index[ic.Item] = e
+		f.heap.push(e)
+	}
+	f.n += o.n
+	f.decs += o.decs + sub
+	return nil
+}

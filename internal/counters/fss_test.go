@@ -1,0 +1,131 @@
+package counters
+
+import (
+	"testing"
+
+	"streamfreq/internal/core"
+	"streamfreq/internal/exact"
+	"streamfreq/internal/zipf"
+)
+
+func TestFSSNeverUnderestimatesMonitored(t *testing.T) {
+	g, _ := zipf.NewGenerator(3000, 1.1, 91, true)
+	s := NewFilteredSpaceSaving(64, 0, 5)
+	truth := exact.New()
+	for i := 0; i < 80000; i++ {
+		it := g.Next()
+		s.Update(it, 1)
+		truth.Update(it, 1)
+	}
+	for r := 1; r <= 3000; r++ {
+		it := g.ItemOfRank(r)
+		est, tru := s.Estimate(it), truth.Estimate(it)
+		if est < tru {
+			t.Fatalf("rank %d: FSS estimate %d underestimates true %d", r, est, tru)
+		}
+		if g := s.GuaranteedCount(it); g > tru {
+			t.Fatalf("rank %d: guaranteed %d exceeds true %d", r, g, tru)
+		}
+	}
+}
+
+func TestFSSTracksHead(t *testing.T) {
+	g, _ := zipf.NewGenerator(2000, 1.3, 77, true)
+	s := NewFilteredSpaceSaving(50, 0, 9)
+	truth := exact.New()
+	const n = 60000
+	for i := 0; i < n; i++ {
+		it := g.Next()
+		s.Update(it, 1)
+		truth.Update(it, 1)
+	}
+	threshold := int64(0.01 * n)
+	reported := map[core.Item]bool{}
+	for _, ic := range s.Query(threshold) {
+		reported[ic.Item] = true
+	}
+	for _, tc := range truth.Query(threshold) {
+		if !reported[tc.Item] {
+			t.Errorf("FSS missed heavy item %d (count %d)", tc.Item, tc.Count)
+		}
+	}
+}
+
+func TestFSSMorePreciseThanSSAtEqualK(t *testing.T) {
+	// The algorithm's selling point: on low-skew streams the filter
+	// prevents mice from churning the monitored set, so the monitored
+	// set's minimum count (the noise floor) stays lower.
+	const k, n = 100, 100000
+	g1, _ := zipf.NewGenerator(50000, 0.7, 13, true)
+	g2, _ := zipf.NewGenerator(50000, 0.7, 13, true)
+	ss := NewSpaceSavingHeap(k)
+	fss := NewFilteredSpaceSaving(k, 0, 3)
+	for i := 0; i < n; i++ {
+		ss.Update(g1.Next(), 1)
+		fss.Update(g2.Next(), 1)
+	}
+	if fss.Min() > ss.Min() {
+		t.Errorf("FSS min %d above SS min %d; the filter provided no benefit", fss.Min(), ss.Min())
+	}
+}
+
+func TestFSSPanicsOnNonPositive(t *testing.T) {
+	s := NewFilteredSpaceSaving(4, 0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Update(1, 0)
+}
+
+func TestFSSExactUnderCapacity(t *testing.T) {
+	s := NewFilteredSpaceSaving(100, 0, 2)
+	g, _ := zipf.NewGenerator(50, 1.0, 4, true)
+	truth := exact.New()
+	for i := 0; i < 10000; i++ {
+		it := g.Next()
+		s.Update(it, 1)
+		truth.Update(it, 1)
+	}
+	for r := 1; r <= 50; r++ {
+		it := g.ItemOfRank(r)
+		if s.Estimate(it) != truth.Estimate(it) {
+			t.Errorf("rank %d inexact under capacity: %d vs %d", r, s.Estimate(it), truth.Estimate(it))
+		}
+	}
+}
+
+func TestFSSFilterBoundsUnmonitored(t *testing.T) {
+	s := NewFilteredSpaceSaving(4, 64, 7)
+	truth := exact.New()
+	g, _ := zipf.NewGenerator(500, 0.9, 21, true)
+	for i := 0; i < 20000; i++ {
+		it := g.Next()
+		s.Update(it, 1)
+		truth.Update(it, 1)
+	}
+	// For every unmonitored item, the filter estimate must upper-bound
+	// the true count (cells aggregate colliding items' mass).
+	monitored := map[core.Item]bool{}
+	for _, e := range s.Entries() {
+		monitored[e.Item] = true
+	}
+	for r := 1; r <= 500; r++ {
+		it := g.ItemOfRank(r)
+		if monitored[it] {
+			continue
+		}
+		if est, tru := s.Estimate(it), truth.Estimate(it); est < tru {
+			t.Fatalf("unmonitored rank %d: filter bound %d below true %d", r, est, tru)
+		}
+	}
+}
+
+func TestFSSBytesIncludesFilter(t *testing.T) {
+	a := NewFilteredSpaceSaving(10, 64, 1)
+	b := NewFilteredSpaceSaving(10, 1024, 1)
+	if b.Bytes() <= a.Bytes() {
+		t.Error("larger filter should cost more bytes")
+	}
+}

@@ -1,0 +1,142 @@
+// Package counters implements the counter-based frequent-items algorithms
+// compared by the paper: Frequent (Misra–Gries), Lossy Counting (LC and
+// the LCD variant), Space-Saving in both its min-heap (SSH) and
+// Stream-Summary linked-list (SSL) forms, and the Sticky Sampling
+// baseline.
+//
+// All of them maintain a set of at most k (item, counter) pairs and answer
+// point and threshold queries from those pairs alone. They process
+// insert-only streams; calling Update with a negative count panics.
+package counters
+
+import (
+	"sort"
+
+	"streamfreq/internal/core"
+)
+
+// sortEntriesByCountDesc orders entries by descending count, ties broken
+// by ascending item, matching core.SortByCountDesc's deterministic order.
+func sortEntriesByCountDesc(es []*entry) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].count != es[j].count {
+			return es[i].count > es[j].count
+		}
+		return es[i].item < es[j].item
+	})
+}
+
+// entry is one tracked (item, count) pair. err records the maximum
+// possible overestimation (Space-Saving) or the insertion-time deficit
+// (Lossy Counting's Δ); Frequent leaves it zero.
+type entry struct {
+	item  core.Item
+	count int64
+	err   int64
+	idx   int // position in the heap, maintained by heap operations
+}
+
+// minHeap is an indexed min-heap of entries ordered by count. The idx
+// field of each entry always equals its position, so an entry's heap
+// location can be fixed in O(log k) after its count changes.
+type minHeap []*entry
+
+func (h minHeap) less(i, j int) bool { return h[i].count < h[j].count }
+
+func (h minHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+// push appends e and restores heap order.
+func (h *minHeap) push(e *entry) {
+	e.idx = len(*h)
+	*h = append(*h, e)
+	h.up(e.idx)
+}
+
+// pop removes and returns the minimum entry.
+func (h *minHeap) pop() *entry {
+	old := *h
+	n := len(old)
+	top := old[0]
+	old.swap(0, n-1)
+	*h = old[:n-1]
+	if n > 1 {
+		h.down(0)
+	}
+	top.idx = -1
+	return top
+}
+
+// fix restores heap order after the entry at position i changed count.
+func (h minHeap) fix(i int) {
+	if !h.down(i) {
+		h.up(i)
+	}
+}
+
+func (h minHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts i downward; reports whether it moved.
+func (h minHeap) down(i int) bool {
+	start := i
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		small := l
+		if r := l + 1; r < n && h.less(r, l) {
+			small = r
+		}
+		if !h.less(small, i) {
+			break
+		}
+		h.swap(i, small)
+		i = small
+	}
+	return i != start
+}
+
+// validate checks the heap invariant; used only by tests.
+func (h minHeap) validate() bool {
+	for i := range h {
+		if h[i].idx != i {
+			return false
+		}
+		l, r := 2*i+1, 2*i+2
+		if l < len(h) && h.less(l, i) {
+			return false
+		}
+		if r < len(h) && h.less(r, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// mustPositive panics on non-positive counts; the counter-based
+// algorithms support only the insert-only (cash-register) stream model,
+// and a non-positive count indicates a harness wiring bug.
+func mustPositive(name string, count int64) {
+	if count <= 0 {
+		panic("counters: " + name + " requires positive update counts (insert-only stream model)")
+	}
+}
+
+// entryBytes is the charged size of one (item, count, err, heap-index)
+// counter slot, doubled for map/pointer overhead. Keeping the accounting
+// rule in one place makes the cross-algorithm space plots consistent.
+const entryBytes = 2 * (8 + 8 + 8 + 8)

@@ -1,0 +1,176 @@
+package counters
+
+import (
+	"streamfreq/internal/core"
+)
+
+// SpaceSavingHeap implements the Space-Saving algorithm of Metwally,
+// Agrawal & El Abbadi with a min-heap over the counters — the "SSH"
+// variant of the paper.
+//
+// Space-Saving keeps exactly k counters. A new item that does not fit
+// *replaces* the minimum counter, inheriting its count (plus the new
+// arrival) and recording the inherited count as the entry's maximum
+// possible error. Invariants, with min = smallest tracked count:
+//
+//	true(x) ≤ Estimate(x) ≤ true(x) + min     for tracked x
+//	true(x) ≤ min                             for untracked x
+//
+// so every item with true count > n/k is tracked, and with k = ⌈1/ε⌉
+// counters Space-Saving solves the ε-approximate problem with perfect
+// recall and counts overestimated by at most εn.
+type SpaceSavingHeap struct {
+	k     int
+	index map[core.Item]*entry
+	heap  minHeap
+	n     int64
+}
+
+// NewSpaceSavingHeap returns an SSH summary with k counters.
+func NewSpaceSavingHeap(k int) *SpaceSavingHeap {
+	if k <= 0 {
+		panic("counters: SpaceSaving requires k > 0")
+	}
+	return &SpaceSavingHeap{k: k, index: make(map[core.Item]*entry, k)}
+}
+
+// Name implements core.Summary.
+func (s *SpaceSavingHeap) Name() string { return "SSH" }
+
+// K returns the counter budget.
+func (s *SpaceSavingHeap) K() int { return s.k }
+
+// N implements core.Summary.
+func (s *SpaceSavingHeap) N() int64 { return s.n }
+
+// Min returns the smallest tracked count (0 while slots remain), which
+// bounds the count of every untracked item.
+func (s *SpaceSavingHeap) Min() int64 {
+	if len(s.heap) < s.k {
+		return 0
+	}
+	return s.heap[0].count
+}
+
+// Update processes count arrivals of x. count must be positive.
+func (s *SpaceSavingHeap) Update(x core.Item, count int64) {
+	mustPositive("SpaceSaving", count)
+	s.n += count
+
+	if e, ok := s.index[x]; ok {
+		e.count += count
+		s.heap.fix(e.idx)
+		return
+	}
+	if len(s.heap) < s.k {
+		e := &entry{item: x, count: count}
+		s.index[x] = e
+		s.heap.push(e)
+		return
+	}
+	// Replace the minimum counter: x inherits its count as error.
+	e := s.heap[0]
+	delete(s.index, e.item)
+	e.err = e.count
+	e.count += count
+	e.item = x
+	s.index[x] = e
+	s.heap.fix(0)
+}
+
+// Estimate returns the (over-)estimate for tracked items and the global
+// minimum counter for untracked items, the tightest upper bound
+// Space-Saving can certify.
+func (s *SpaceSavingHeap) Estimate(x core.Item) int64 {
+	if e, ok := s.index[x]; ok {
+		return e.count
+	}
+	return s.Min()
+}
+
+// GuaranteedCount returns a certified lower bound on x's true count
+// (count − err for tracked items, 0 otherwise).
+func (s *SpaceSavingHeap) GuaranteedCount(x core.Item) int64 {
+	if e, ok := s.index[x]; ok {
+		return e.count - e.err
+	}
+	return 0
+}
+
+// Query returns the tracked items with estimate ≥ threshold in
+// descending order. Because Space-Saving never underestimates, this has
+// perfect recall at any threshold > n/k.
+func (s *SpaceSavingHeap) Query(threshold int64) []core.ItemCount {
+	var out []core.ItemCount
+	for _, e := range s.heap {
+		if e.count >= threshold {
+			out = append(out, core.ItemCount{Item: e.item, Count: e.count})
+		}
+	}
+	core.SortByCountDesc(out)
+	return out
+}
+
+// Entries returns all tracked (item, estimate) pairs in descending order.
+func (s *SpaceSavingHeap) Entries() []core.ItemCount {
+	out := make([]core.ItemCount, 0, len(s.heap))
+	for _, e := range s.heap {
+		out = append(out, core.ItemCount{Item: e.item, Count: e.count})
+	}
+	core.SortByCountDesc(out)
+	return out
+}
+
+// Bytes implements core.Summary.
+func (s *SpaceSavingHeap) Bytes() int { return entryBytes * s.k }
+
+// Merge combines another Space-Saving summary into this one following
+// the mergeable-summaries construction: counters for the same item are
+// summed (errors summed likewise); counters present on one side only are
+// inflated by the other side's Min() bound (added to both count and err);
+// then the k largest counters are kept. The result satisfies the
+// Space-Saving invariants for the concatenated stream.
+func (s *SpaceSavingHeap) Merge(other core.Summary) error {
+	o, ok := other.(*SpaceSavingHeap)
+	if !ok {
+		return core.Incompatible("SpaceSaving: cannot merge %T", other)
+	}
+	type pair struct{ count, err int64 }
+	combined := make(map[core.Item]pair, len(s.index)+len(o.index))
+	sMin, oMin := s.Min(), o.Min()
+	for it, e := range s.index {
+		p := pair{e.count, e.err}
+		if oe, ok := o.index[it]; ok {
+			p.count += oe.count
+			p.err += oe.err
+		} else {
+			p.count += oMin
+			p.err += oMin
+		}
+		combined[it] = p
+	}
+	for it, oe := range o.index {
+		if _, done := combined[it]; done {
+			continue
+		}
+		combined[it] = pair{oe.count + sMin, oe.err + sMin}
+	}
+	all := make([]*entry, 0, len(combined))
+	for it, p := range combined {
+		all = append(all, &entry{item: it, count: p.count, err: p.err})
+	}
+	// Keep the k largest counts.
+	sortEntriesByCountDesc(all)
+	if len(all) > s.k {
+		all = all[:s.k]
+	}
+	s.index = make(map[core.Item]*entry, s.k)
+	s.heap = s.heap[:0]
+	for _, e := range all {
+		e.idx = -1
+		s.index[e.item] = e
+		s.heap.push(e)
+	}
+	s.n += o.n
+	return nil
+}

@@ -1,0 +1,110 @@
+package counters
+
+import (
+	"math"
+
+	"streamfreq/internal/core"
+	"streamfreq/internal/prng"
+)
+
+// StickySampling implements the Manku–Motwani sticky sampling algorithm,
+// the probabilistic counter-based baseline the paper's survey discusses
+// alongside LC. Items are sampled into the summary with a rate that
+// decays geometrically as the stream grows; once sampled, an item's
+// subsequent occurrences are counted exactly ("sticky").
+//
+// With t = (1/ε)·ln(1/(s·δ)) memory scale, the summary holds O(t) entries
+// in expectation regardless of stream length, and each tracked item's
+// count underestimates truth by at most εN with probability 1−δ.
+type StickySampling struct {
+	epsilon float64
+	delta   float64
+	support float64 // s, the query support the failure bound refers to
+	t       float64
+	index   map[core.Item]int64
+	rate    int64 // current sampling is with probability 1/rate
+	limit   int64 // stream position at which the rate next doubles
+	n       int64
+	rng     *prng.Xoshiro256
+}
+
+// NewStickySampling returns a sticky sampling summary for support s,
+// error epsilon and failure probability delta, seeded deterministically.
+func NewStickySampling(support, epsilon, delta float64, seed uint64) *StickySampling {
+	if epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1 || support <= 0 || support >= 1 {
+		panic("counters: StickySampling requires support, epsilon, delta in (0,1)")
+	}
+	t := 1 / epsilon * math.Log(1/(support*delta))
+	return &StickySampling{
+		epsilon: epsilon,
+		delta:   delta,
+		support: support,
+		t:       t,
+		index:   make(map[core.Item]int64),
+		rate:    1,
+		limit:   int64(2 * t),
+		rng:     prng.New(seed),
+	}
+}
+
+// Name implements core.Summary.
+func (s *StickySampling) Name() string { return "SS-MM" }
+
+// N implements core.Summary.
+func (s *StickySampling) N() int64 { return s.n }
+
+// EntryCount returns the number of live tracked entries.
+func (s *StickySampling) EntryCount() int { return len(s.index) }
+
+// Update processes count arrivals of x. count must be positive. Weighted
+// arrivals are treated as count unit arrivals (the sampling decision is
+// made once; a sampled item counts the full weight).
+func (s *StickySampling) Update(x core.Item, count int64) {
+	mustPositive("StickySampling", count)
+	for s.n+count > s.limit {
+		// Rate doubles; existing entries are down-sampled to look as if
+		// they had been sampled at the new rate all along: repeatedly
+		// toss an unbiased coin, decrementing until heads.
+		s.rate *= 2
+		s.limit += int64(2*s.t) * s.rate
+		for it, c := range s.index {
+			for c > 0 && s.rng.Uint64()&1 == 1 {
+				c--
+			}
+			if c == 0 {
+				delete(s.index, it)
+			} else {
+				s.index[it] = c
+			}
+		}
+	}
+	s.n += count
+	if c, ok := s.index[x]; ok {
+		s.index[x] = c + count
+		return
+	}
+	// Sample with probability 1/rate.
+	if s.rate == 1 || s.rng.Uint64n(uint64(s.rate)) == 0 {
+		s.index[x] = count
+	}
+}
+
+// Estimate returns the tracked count (an underestimate), 0 if untracked.
+func (s *StickySampling) Estimate(x core.Item) int64 { return s.index[x] }
+
+// Query returns tracked items whose count may reach threshold,
+// compensating by the εN sampling deficit bound, in descending order.
+func (s *StickySampling) Query(threshold int64) []core.ItemCount {
+	slack := int64(s.epsilon * float64(s.n))
+	var out []core.ItemCount
+	for it, c := range s.index {
+		if c+slack >= threshold {
+			out = append(out, core.ItemCount{Item: it, Count: c})
+		}
+	}
+	core.SortByCountDesc(out)
+	return out
+}
+
+// Bytes implements core.Summary.
+func (s *StickySampling) Bytes() int { return entryBytes * len(s.index) }

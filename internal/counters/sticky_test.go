@@ -1,0 +1,94 @@
+package counters
+
+import (
+	"testing"
+
+	"streamfreq/internal/core"
+	"streamfreq/internal/exact"
+	"streamfreq/internal/zipf"
+)
+
+func TestStickySamplingValidation(t *testing.T) {
+	bad := [][3]float64{
+		{0, 0.1, 0.1}, {1, 0.1, 0.1}, {0.1, 0, 0.1}, {0.1, 1, 0.1},
+		{0.1, 0.1, 0}, {0.1, 0.1, 1},
+	}
+	for _, b := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for params %v", b)
+				}
+			}()
+			NewStickySampling(b[0], b[1], b[2], 1)
+		}()
+	}
+}
+
+func TestStickyNeverOverestimates(t *testing.T) {
+	g, _ := zipf.NewGenerator(1000, 1.1, 44, true)
+	s := NewStickySampling(0.01, 0.002, 0.01, 9)
+	truth := exact.New()
+	for i := 0; i < 100000; i++ {
+		it := g.Next()
+		s.Update(it, 1)
+		truth.Update(it, 1)
+	}
+	for r := 1; r <= 1000; r++ {
+		it := g.ItemOfRank(r)
+		if s.Estimate(it) > truth.Estimate(it) {
+			t.Errorf("item %d: sticky estimate %d exceeds true %d", it, s.Estimate(it), truth.Estimate(it))
+		}
+	}
+}
+
+func TestStickyTracksHeavyItems(t *testing.T) {
+	// With the fixed seed this is deterministic; the theory says each
+	// heavy item is missed with probability ≤ δ.
+	g, _ := zipf.NewGenerator(1000, 1.2, 10, true)
+	s := NewStickySampling(0.01, 0.002, 0.001, 3)
+	truth := exact.New()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		it := g.Next()
+		s.Update(it, 1)
+		truth.Update(it, 1)
+	}
+	threshold := int64(0.01 * n)
+	reported := map[core.Item]bool{}
+	for _, ic := range s.Query(threshold) {
+		reported[ic.Item] = true
+	}
+	missed := 0
+	for _, tc := range truth.Query(threshold) {
+		if !reported[tc.Item] {
+			missed++
+		}
+	}
+	if missed > 0 {
+		t.Errorf("missed %d heavy items (δ=0.001 should make this vanishingly rare)", missed)
+	}
+}
+
+func TestStickySpaceStaysBounded(t *testing.T) {
+	g, _ := zipf.NewGenerator(100000, 0.8, 21, true)
+	s := NewStickySampling(0.01, 0.005, 0.01, 5)
+	for i := 0; i < 300000; i++ {
+		s.Update(g.Next(), 1)
+	}
+	// Expected entries ≈ 2t = (2/ε)·ln(1/(sδ)); allow generous headroom.
+	limit := int(6 / 0.005 * 10)
+	if s.EntryCount() > limit {
+		t.Errorf("%d entries exceeds bound %d", s.EntryCount(), limit)
+	}
+}
+
+func TestStickyPanicsOnNonPositive(t *testing.T) {
+	s := NewStickySampling(0.1, 0.1, 0.1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Update(1, 0)
+}

@@ -1,0 +1,113 @@
+// Package exact implements the exact frequency counter used as ground
+// truth by the experiment harness, and as the "infeasible" baseline the
+// paper's introduction motivates against: it keeps one counter per
+// distinct item, which is precisely what streaming algorithms avoid.
+package exact
+
+import (
+	"streamfreq/internal/core"
+)
+
+// Counter counts every distinct item exactly with a hash map.
+// It implements core.Summary and core.Merger.
+type Counter struct {
+	counts map[core.Item]int64
+	n      int64
+}
+
+// New returns an empty exact counter.
+func New() *Counter {
+	return &Counter{counts: make(map[core.Item]int64)}
+}
+
+// Name implements core.Summary.
+func (c *Counter) Name() string { return "EXACT" }
+
+// Update adds count occurrences of x. Negative counts are allowed
+// (exact counting is trivially a turnstile algorithm); entries that reach
+// zero are removed so Distinct reflects the live support.
+func (c *Counter) Update(x core.Item, count int64) {
+	c.n += count
+	nc := c.counts[x] + count
+	if nc == 0 {
+		delete(c.counts, x)
+		return
+	}
+	c.counts[x] = nc
+}
+
+// Estimate returns the exact count of x.
+func (c *Counter) Estimate(x core.Item) int64 { return c.counts[x] }
+
+// N returns the total count processed.
+func (c *Counter) N() int64 { return c.n }
+
+// Distinct returns the number of distinct items with nonzero count.
+func (c *Counter) Distinct() int { return len(c.counts) }
+
+// Query returns all items with count ≥ threshold, descending by count.
+func (c *Counter) Query(threshold int64) []core.ItemCount {
+	var out []core.ItemCount
+	for it, ct := range c.counts {
+		if ct >= threshold {
+			out = append(out, core.ItemCount{Item: it, Count: ct})
+		}
+	}
+	core.SortByCountDesc(out)
+	return out
+}
+
+// TopK returns the k most frequent items in descending order.
+func (c *Counter) TopK(k int) []core.ItemCount {
+	all := make([]core.ItemCount, 0, len(c.counts))
+	for it, ct := range c.counts {
+		all = append(all, core.ItemCount{Item: it, Count: ct})
+	}
+	core.SortByCountDesc(all)
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+// Bytes reports the approximate footprint: map overhead is charged at
+// 2× the entry payload, a conventional accounting also used for the
+// counter-based algorithms so space comparisons are apples-to-apples.
+func (c *Counter) Bytes() int {
+	const entry = 16 // 8-byte key + 8-byte count
+	return 2 * entry * len(c.counts)
+}
+
+// Merge adds another exact counter into this one.
+func (c *Counter) Merge(other core.Summary) error {
+	o, ok := other.(*Counter)
+	if !ok {
+		return core.Incompatible("exact: cannot merge %T", other)
+	}
+	for it, ct := range o.counts {
+		c.Update(it, ct)
+	}
+	// Update already accumulated o's total into n item by item.
+	return nil
+}
+
+// SecondMoment returns F2 = Σ count², the quantity governing Count-Sketch
+// error (used by property tests to compute expected error bounds).
+func (c *Counter) SecondMoment() float64 {
+	var f2 float64
+	for _, ct := range c.counts {
+		f2 += float64(ct) * float64(ct)
+	}
+	return f2
+}
+
+// ResidualSecondMoment returns Σ count² excluding the k largest counts,
+// the residual F2 term in the Count-Sketch bound.
+func (c *Counter) ResidualSecondMoment(k int) float64 {
+	top := c.TopK(len(c.counts))
+	var f2 float64
+	for i := k; i < len(top); i++ {
+		f2 += float64(top[i].Count) * float64(top[i].Count)
+	}
+	return f2
+}

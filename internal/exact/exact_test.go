@@ -1,0 +1,125 @@
+package exact
+
+import (
+	"testing"
+
+	"streamfreq/internal/core"
+)
+
+func TestBasicCounting(t *testing.T) {
+	c := New()
+	c.Update(1, 3)
+	c.Update(2, 1)
+	c.Update(1, 2)
+	if got := c.Estimate(1); got != 5 {
+		t.Errorf("Estimate(1) = %d, want 5", got)
+	}
+	if got := c.Estimate(2); got != 1 {
+		t.Errorf("Estimate(2) = %d, want 1", got)
+	}
+	if got := c.Estimate(99); got != 0 {
+		t.Errorf("Estimate(99) = %d, want 0", got)
+	}
+	if c.N() != 6 {
+		t.Errorf("N = %d, want 6", c.N())
+	}
+	if c.Distinct() != 2 {
+		t.Errorf("Distinct = %d, want 2", c.Distinct())
+	}
+}
+
+func TestNegativeUpdatesRemoveEntries(t *testing.T) {
+	c := New()
+	c.Update(1, 3)
+	c.Update(1, -3)
+	if c.Distinct() != 0 {
+		t.Errorf("Distinct = %d after cancel, want 0", c.Distinct())
+	}
+	if c.Estimate(1) != 0 {
+		t.Errorf("Estimate = %d after cancel", c.Estimate(1))
+	}
+}
+
+func TestQueryAndTopK(t *testing.T) {
+	c := New()
+	for i, n := range []int64{10, 7, 7, 3, 1} {
+		c.Update(core.Item(i+1), n)
+	}
+	q := c.Query(7)
+	if len(q) != 3 {
+		t.Fatalf("Query(7) returned %d items", len(q))
+	}
+	if q[0].Item != 1 || q[0].Count != 10 {
+		t.Errorf("first = %+v", q[0])
+	}
+	// Ties broken by ascending item id.
+	if q[1].Item != 2 || q[2].Item != 3 {
+		t.Errorf("tie order wrong: %+v", q[1:])
+	}
+	top := c.TopK(2)
+	if len(top) != 2 || top[0].Item != 1 || top[1].Item != 2 {
+		t.Errorf("TopK(2) = %+v", top)
+	}
+	if got := c.TopK(100); len(got) != 5 {
+		t.Errorf("TopK(100) length %d", len(got))
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	a.Update(1, 5)
+	a.Update(2, 2)
+	b.Update(1, 5)
+	b.Update(3, 9)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate(1) != 10 || a.Estimate(2) != 2 || a.Estimate(3) != 9 {
+		t.Errorf("merged counts wrong: %d %d %d", a.Estimate(1), a.Estimate(2), a.Estimate(3))
+	}
+	if a.N() != 21 {
+		t.Errorf("N = %d, want 21", a.N())
+	}
+}
+
+func TestMergeIncompatible(t *testing.T) {
+	a := New()
+	if err := a.Merge(fakeSummary{}); err == nil {
+		t.Error("expected incompatibility error")
+	}
+}
+
+type fakeSummary struct{}
+
+func (fakeSummary) Update(core.Item, int64)      {}
+func (fakeSummary) Estimate(core.Item) int64     { return 0 }
+func (fakeSummary) Query(int64) []core.ItemCount { return nil }
+func (fakeSummary) N() int64                     { return 0 }
+func (fakeSummary) Bytes() int                   { return 0 }
+func (fakeSummary) Name() string                 { return "fake" }
+
+func TestMoments(t *testing.T) {
+	c := New()
+	c.Update(1, 3)
+	c.Update(2, 4)
+	if f2 := c.SecondMoment(); f2 != 25 {
+		t.Errorf("F2 = %v, want 25", f2)
+	}
+	if r := c.ResidualSecondMoment(1); r != 9 {
+		t.Errorf("residual F2 = %v, want 9", r)
+	}
+	if r := c.ResidualSecondMoment(2); r != 0 {
+		t.Errorf("residual F2 = %v, want 0", r)
+	}
+}
+
+func TestBytesGrowsWithEntries(t *testing.T) {
+	c := New()
+	b0 := c.Bytes()
+	for i := 0; i < 100; i++ {
+		c.Update(core.Item(i), 1)
+	}
+	if c.Bytes() <= b0 {
+		t.Error("Bytes did not grow with entries")
+	}
+}

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCheckClaimsSkipsUnrunExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	failed := CheckClaims(nil, &buf)
+	if failed != 0 {
+		t.Errorf("failed = %d with no results", failed)
+	}
+	if !strings.Contains(buf.String(), "SKIP") {
+		t.Error("expected SKIP verdicts")
+	}
+}
+
+func TestCheckClaimsDetectsViolation(t *testing.T) {
+	// Forge an F1 result where a counter algorithm misses items.
+	forged := []Result{{
+		Exp: "F1",
+		Rows: []Row{
+			{Exp: "F1", Algo: "F", X: 1, Recall: 0.5, Precision: 1},
+			{Exp: "F1", Algo: "LC", X: 1, Recall: 1, Precision: 1},
+			{Exp: "F1", Algo: "LCD", X: 1, Recall: 1, Precision: 1},
+			{Exp: "F1", Algo: "SSL", X: 1, Recall: 1, Precision: 1},
+			{Exp: "F1", Algo: "SSH", X: 1, Recall: 1, Precision: 1},
+		},
+	}}
+	var buf bytes.Buffer
+	failed := CheckClaims(forged, &buf)
+	if failed == 0 {
+		t.Fatal("forged recall violation not detected")
+	}
+	if !strings.Contains(buf.String(), "FAIL C1") {
+		t.Errorf("expected C1 failure, got:\n%s", buf.String())
+	}
+}
+
+func TestClaimsPassOnRealRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full claim run is slow")
+	}
+	cfg := testConfig()
+	cfg.N = 40_000
+	cfg.Universe = 1 << 13
+	var results []Result
+	for _, id := range []string{"F1", "F2", "F3", "F4", "F6", "F7", "X1", "X2"} {
+		res, err := Run(id, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	var buf bytes.Buffer
+	if failed := CheckClaims(results, &buf); failed > 0 {
+		t.Errorf("%d claims failed on a real run:\n%s", failed, buf.String())
+	}
+}

@@ -1,0 +1,183 @@
+package sketches
+
+import (
+	"testing"
+
+	"streamfreq/internal/core"
+	"streamfreq/internal/exact"
+	"streamfreq/internal/hash"
+	"streamfreq/internal/zipf"
+)
+
+func TestCGTSingleItemDecodesExactly(t *testing.T) {
+	c := NewCGT(3, 64, 64, 9)
+	it := core.Item(hash.Mix64(12345))
+	c.Update(it, 500)
+	q := c.Query(400)
+	if len(q) != 1 || q[0].Item != it || q[0].Count != 500 {
+		t.Fatalf("Query = %+v, want exactly item %d count 500", q, it)
+	}
+}
+
+func TestCGTFindsAllHeavyHitters(t *testing.T) {
+	const n = 60000
+	g, err := zipf.NewGenerator(1500, 1.2, 83, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCGT(4, 512, 64, 19)
+	truth := exact.New()
+	for i := 0; i < n; i++ {
+		it := g.Next()
+		c.Update(it, 1)
+		truth.Update(it, 1)
+	}
+	threshold := int64(0.005 * n)
+	reported := map[core.Item]bool{}
+	for _, ic := range c.Query(threshold) {
+		reported[ic.Item] = true
+	}
+	// Each heavy item lands in a bucket it dominates in at least one row
+	// w.h.p. with width 512 ≫ 1/φ = 200.
+	for _, tc := range truth.Query(threshold) {
+		if !reported[tc.Item] {
+			t.Errorf("CGT missed heavy item %d (count %d)", tc.Item, tc.Count)
+		}
+	}
+}
+
+func TestCGTEstimateNeverUnderestimates(t *testing.T) {
+	g, _ := zipf.NewGenerator(800, 1.0, 29, true)
+	c := NewCGT(4, 256, 64, 7)
+	truth := exact.New()
+	for i := 0; i < 30000; i++ {
+		it := g.Next()
+		c.Update(it, 1)
+		truth.Update(it, 1)
+	}
+	for r := 1; r <= 800; r++ {
+		it := g.ItemOfRank(r)
+		if c.Estimate(it) < truth.Estimate(it) {
+			t.Fatalf("CGT estimate underestimates item %d", it)
+		}
+	}
+}
+
+func TestCGTSupportsDeletions(t *testing.T) {
+	c := NewCGT(3, 128, 64, 3)
+	heavy := core.Item(hash.Mix64(1))
+	noise := core.Item(hash.Mix64(2))
+	c.Update(heavy, 1000)
+	c.Update(noise, 800)
+	c.Update(noise, -800) // full deletion
+	q := c.Query(500)
+	if len(q) != 1 || q[0].Item != heavy {
+		t.Fatalf("after deletion Query = %+v, want only item %d", q, heavy)
+	}
+	if got := c.Estimate(noise); got != 0 {
+		t.Errorf("deleted item estimate = %d, want 0", got)
+	}
+}
+
+func TestCGTTurnstileDifference(t *testing.T) {
+	// Subtract two CGT sketches and decode the max-change item directly.
+	a := NewCGT(4, 256, 64, 11)
+	b := NewCGT(4, 256, 64, 11)
+	g, _ := zipf.NewGenerator(500, 1.0, 13, true)
+	for i := 0; i < 20000; i++ {
+		it := g.Next()
+		a.Update(it, 1)
+		b.Update(it, 1)
+	}
+	surging := core.Item(hash.Mix64(0xFEED))
+	b.Update(surging, 3000)
+	if err := b.Subtract(a); err != nil {
+		t.Fatal(err)
+	}
+	q := b.Query(2000)
+	found := false
+	for _, ic := range q {
+		if ic.Item == surging {
+			found = true
+			if ic.Count < 2500 || ic.Count > 3500 {
+				t.Errorf("surge estimate %d, want ≈ 3000", ic.Count)
+			}
+		}
+	}
+	if !found {
+		t.Error("CGT difference decoding missed the surging item")
+	}
+}
+
+func TestCGTMergeEqualsConcatenation(t *testing.T) {
+	a := NewCGT(3, 128, 64, 5)
+	b := NewCGT(3, 128, 64, 5)
+	whole := NewCGT(3, 128, 64, 5)
+	g, _ := zipf.NewGenerator(300, 1.1, 15, true)
+	for i := 0; i < 15000; i++ {
+		it := g.Next()
+		if i%2 == 0 {
+			a.Update(it, 1)
+		} else {
+			b.Update(it, 1)
+		}
+		whole.Update(it, 1)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r <= 300; r++ {
+		it := g.ItemOfRank(r)
+		if a.Estimate(it) != whole.Estimate(it) {
+			t.Fatal("merged CGT diverges from whole-stream CGT")
+		}
+	}
+}
+
+func TestCGTMergeRejectsMismatch(t *testing.T) {
+	a := NewCGT(3, 128, 64, 5)
+	if err := a.Merge(NewCGT(3, 128, 32, 5)); err == nil {
+		t.Error("expected universe mismatch error")
+	}
+	if err := a.Merge(NewCGT(3, 128, 64, 6)); err == nil {
+		t.Error("expected seed mismatch error")
+	}
+	if err := a.Merge(NewCountMin(3, 128, 5)); err == nil {
+		t.Error("expected type mismatch error")
+	}
+}
+
+func TestCGTSmallUniverseMasksItems(t *testing.T) {
+	c := NewCGT(3, 64, 16, 2)
+	c.Update(core.Item(0xFFFF0003), 100) // masked to 0x0003
+	if got := c.Estimate(3); got != 100 {
+		t.Errorf("masked estimate = %d, want 100", got)
+	}
+	q := c.Query(50)
+	if len(q) != 1 || q[0].Item != 3 {
+		t.Errorf("Query = %+v, want item 3", q)
+	}
+}
+
+func TestCGTQueryThresholdClamped(t *testing.T) {
+	c := NewCGT(2, 32, 32, 1)
+	c.Update(9, 4)
+	out := c.Query(0)
+	found := false
+	for _, ic := range out {
+		if ic.Item == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("item missing from clamped query")
+	}
+}
+
+func TestCGTBytesScale(t *testing.T) {
+	small := NewCGT(2, 32, 32, 1)
+	big := NewCGT(2, 32, 64, 1)
+	if big.Bytes() <= small.Bytes() {
+		t.Error("64-bit universe CGT should cost more than 32-bit")
+	}
+}

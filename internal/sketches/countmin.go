@@ -1,0 +1,242 @@
+// Package sketches implements the sketch-based frequent-items algorithms
+// compared by the paper: the Count-Min sketch (plain and conservative-
+// update), the Count Sketch of Charikar, Chen & Farach-Colton, dyadic
+// hierarchical wrappers over both (the paper's CMH and the CS hierarchy),
+// and the Combinatorial Group Testing (CGT) sketch.
+//
+// Sketches are linear projections of the frequency vector: they support
+// deletions (the turnstile model), merging by addition, and stream
+// differencing by subtraction — capabilities no counter-based summary
+// has, bought at the price of randomization and larger constants.
+package sketches
+
+import (
+	"math"
+	"sort"
+
+	"streamfreq/internal/core"
+	"streamfreq/internal/hash"
+)
+
+// CountMin is the Cormode–Muthukrishnan Count-Min sketch: a d×w array of
+// counters with one pairwise-independent hash per row.
+//
+// For an insert-only stream, Estimate never underestimates and, with
+// w = ⌈e/ε⌉ and d = ⌈ln(1/δ)⌉, overestimates by more than εN with
+// probability at most δ. Under deletions the min estimator loses its
+// one-sided guarantee and the sketch switches to the median estimator
+// automatically.
+type CountMin struct {
+	rows         [][]int64
+	family       *hash.Family
+	width        int
+	depth        int
+	n            int64
+	neg          bool // a negative update has been seen; use median estimator
+	conservative bool
+}
+
+// NewCountMin returns a d(depth) × w(width) Count-Min sketch seeded
+// deterministically by seed. Sketches built with equal (depth, width,
+// seed) are mergeable.
+func NewCountMin(depth, width int, seed uint64) *CountMin {
+	return newCountMin(depth, width, seed, false)
+}
+
+// NewCountMinConservative returns a Count-Min sketch using conservative
+// update: on increment, each row counter is raised only as far as
+// necessary (to the current estimate plus the increment), never higher.
+// Conservative update strictly reduces overestimation for insert-only
+// streams but forfeits linearity (no Subtract, merge is approximate),
+// which is why the paper's main roster uses the plain sketch; the
+// ablation bench quantifies the accuracy difference.
+func NewCountMinConservative(depth, width int, seed uint64) *CountMin {
+	return newCountMin(depth, width, seed, true)
+}
+
+func newCountMin(depth, width int, seed uint64, conservative bool) *CountMin {
+	if depth <= 0 || width <= 0 {
+		panic("sketches: CountMin requires positive depth and width")
+	}
+	rows := make([][]int64, depth)
+	backing := make([]int64, depth*width)
+	for i := range rows {
+		rows[i], backing = backing[:width:width], backing[width:]
+	}
+	return &CountMin{
+		rows:         rows,
+		family:       hash.NewFamily(depth, width, 2, seed),
+		width:        width,
+		depth:        depth,
+		conservative: conservative,
+	}
+}
+
+// ParamsForEpsilon returns (depth, width) achieving error εN with failure
+// probability δ: w = ⌈e/ε⌉, d = ⌈ln(1/δ)⌉.
+func ParamsForEpsilon(epsilon, delta float64) (depth, width int) {
+	depth = int(math.Ceil(math.Log(1 / delta)))
+	if depth < 1 {
+		depth = 1
+	}
+	width = int(math.Ceil(math.E / epsilon))
+	if width < 1 {
+		width = 1
+	}
+	return depth, width
+}
+
+// Name implements core.Summary.
+func (c *CountMin) Name() string {
+	if c.conservative {
+		return "CMC"
+	}
+	return "CM"
+}
+
+// Depth returns d; Width returns w.
+func (c *CountMin) Depth() int { return c.depth }
+
+// Width returns the number of counters per row.
+func (c *CountMin) Width() int { return c.width }
+
+// N implements core.Summary.
+func (c *CountMin) N() int64 { return c.n }
+
+// Update adds count (which may be negative, except for conservative
+// sketches) occurrences of x.
+func (c *CountMin) Update(x core.Item, count int64) {
+	if c.conservative {
+		if count < 0 {
+			panic("sketches: conservative Count-Min does not support deletions")
+		}
+		c.updateConservative(x, count)
+		return
+	}
+	if count < 0 {
+		c.neg = true
+	}
+	c.n += count
+	xv := uint64(x)
+	for i := range c.rows {
+		c.rows[i][c.family.Buckets[i].Hash(xv)] += count
+	}
+}
+
+func (c *CountMin) updateConservative(x core.Item, count int64) {
+	c.n += count
+	xv := uint64(x)
+	// First pass: current estimate.
+	est := int64(math.MaxInt64)
+	idx := make([]int, c.depth)
+	for i := range c.rows {
+		idx[i] = c.family.Buckets[i].Hash(xv)
+		if v := c.rows[i][idx[i]]; v < est {
+			est = v
+		}
+	}
+	target := est + count
+	for i := range c.rows {
+		if c.rows[i][idx[i]] < target {
+			c.rows[i][idx[i]] = target
+		}
+	}
+}
+
+// Estimate returns the point estimate of x's count: the row minimum for
+// insert-only streams, or the row median once deletions have occurred.
+func (c *CountMin) Estimate(x core.Item) int64 {
+	if c.neg {
+		return c.estimateMedian(x)
+	}
+	return c.EstimateMin(x)
+}
+
+// EstimateMin returns the classical min-row estimate (an upper bound on
+// the true count for insert-only streams).
+func (c *CountMin) EstimateMin(x core.Item) int64 {
+	xv := uint64(x)
+	est := int64(math.MaxInt64)
+	for i := range c.rows {
+		if v := c.rows[i][c.family.Buckets[i].Hash(xv)]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+func (c *CountMin) estimateMedian(x core.Item) int64 {
+	xv := uint64(x)
+	vals := make([]int64, c.depth)
+	for i := range c.rows {
+		vals[i] = c.rows[i][c.family.Buckets[i].Hash(xv)]
+	}
+	return median(vals)
+}
+
+// Query is not supported by a flat Count-Min sketch: it cannot enumerate
+// items. Wrap it in a core-level tracker or use the Hierarchical variant.
+// It returns nil to satisfy core.Summary; the harness never calls it on
+// flat sketches.
+func (c *CountMin) Query(threshold int64) []core.ItemCount { return nil }
+
+// Bytes implements core.Summary.
+func (c *CountMin) Bytes() int {
+	return 8*c.depth*c.width + 16*c.depth // counters + per-row hash seeds
+}
+
+// Merge adds another Count-Min sketch built with identical parameters.
+func (c *CountMin) Merge(other core.Summary) error {
+	o, ok := other.(*CountMin)
+	if !ok {
+		return core.Incompatible("CountMin: cannot merge %T", other)
+	}
+	if err := c.family.Compatible(o.family); err != nil {
+		return core.Incompatible("CountMin: %v", err)
+	}
+	if c.conservative || o.conservative {
+		return core.Incompatible("CountMin: conservative sketches are not linear and cannot be merged exactly")
+	}
+	for i := range c.rows {
+		for j := range c.rows[i] {
+			c.rows[i][j] += o.rows[i][j]
+		}
+	}
+	c.n += o.n
+	c.neg = c.neg || o.neg
+	return nil
+}
+
+// Subtract removes another sketch's stream, leaving a sketch of the
+// difference vector. Point queries switch to the median estimator.
+func (c *CountMin) Subtract(other core.Summary) error {
+	o, ok := other.(*CountMin)
+	if !ok {
+		return core.Incompatible("CountMin: cannot subtract %T", other)
+	}
+	if err := c.family.Compatible(o.family); err != nil {
+		return core.Incompatible("CountMin: %v", err)
+	}
+	if c.conservative || o.conservative {
+		return core.Incompatible("CountMin: conservative sketches are not linear and cannot be subtracted")
+	}
+	for i := range c.rows {
+		for j := range c.rows[i] {
+			c.rows[i][j] -= o.rows[i][j]
+		}
+	}
+	c.n -= o.n
+	c.neg = true
+	return nil
+}
+
+// median returns the median of vals, averaging the two central values for
+// even lengths (rounding toward the lower). vals is modified.
+func median(vals []int64) int64 {
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	m := len(vals) / 2
+	if len(vals)%2 == 1 {
+		return vals[m]
+	}
+	return (vals[m-1] + vals[m]) / 2
+}

@@ -1,0 +1,140 @@
+// Package stream defines the stream data model shared by the generators,
+// the algorithms, and the command-line tools, together with a compact
+// binary on-disk format so workloads can be generated once (freqgen) and
+// replayed many times (freqtop, the harness).
+//
+// File format (little-endian):
+//
+//	offset  size  field
+//	0       8     magic "SFSTRM01"
+//	8       8     item count n (uint64)
+//	16      8     metadata length m (uint64)
+//	24      m     metadata (UTF-8, free-form description)
+//	24+m    8n    items (uint64 each)
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"streamfreq/internal/core"
+)
+
+// Magic identifies a stream file.
+const Magic = "SFSTRM01"
+
+// Source yields stream items one at a time. All workload generators in
+// internal/zipf and internal/trace satisfy Source.
+type Source interface {
+	Next() core.Item
+}
+
+// SliceSource adapts a materialized []core.Item to a Source; it panics
+// when exhausted, so callers must respect its length.
+type SliceSource struct {
+	items []core.Item
+	pos   int
+}
+
+// NewSliceSource wraps items.
+func NewSliceSource(items []core.Item) *SliceSource {
+	return &SliceSource{items: items}
+}
+
+// Next returns the next item.
+func (s *SliceSource) Next() core.Item {
+	it := s.items[s.pos]
+	s.pos++
+	return it
+}
+
+// Remaining returns how many items are left.
+func (s *SliceSource) Remaining() int { return len(s.items) - s.pos }
+
+// Write writes a stream file containing items with the given metadata.
+func Write(w io.Writer, meta string, items []core.Item) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return fmt.Errorf("stream: writing magic: %w", err)
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(len(items)))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(meta)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("stream: writing header: %w", err)
+	}
+	if _, err := bw.WriteString(meta); err != nil {
+		return fmt.Errorf("stream: writing metadata: %w", err)
+	}
+	var buf [8]byte
+	for _, it := range items {
+		binary.LittleEndian.PutUint64(buf[:], uint64(it))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return fmt.Errorf("stream: writing items: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a stream file produced by Write. It validates the magic and
+// bounds-checks the metadata length against sane limits before allocating.
+func Read(r io.Reader) (meta string, items []core.Item, err error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return "", nil, fmt.Errorf("stream: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return "", nil, fmt.Errorf("stream: bad magic %q (not a stream file?)", magic)
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return "", nil, fmt.Errorf("stream: reading header: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(hdr[0:8])
+	m := binary.LittleEndian.Uint64(hdr[8:16])
+	const maxMeta = 1 << 20
+	if m > maxMeta {
+		return "", nil, fmt.Errorf("stream: metadata length %d exceeds limit %d", m, maxMeta)
+	}
+	const maxItems = 1 << 33 // 64 GiB of items; guards corrupt headers
+	if n > maxItems {
+		return "", nil, fmt.Errorf("stream: item count %d exceeds limit %d", n, maxItems)
+	}
+	mb := make([]byte, m)
+	if _, err := io.ReadFull(br, mb); err != nil {
+		return "", nil, fmt.Errorf("stream: reading metadata: %w", err)
+	}
+	items = make([]core.Item, n)
+	var buf [8]byte
+	for i := range items {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return "", nil, fmt.Errorf("stream: reading item %d of %d: %w", i, n, err)
+		}
+		items[i] = core.Item(binary.LittleEndian.Uint64(buf[:]))
+	}
+	return string(mb), items, nil
+}
+
+// Feed pushes n items from src into each of the summaries with unit
+// counts, fanning a single generated stream to many algorithms so all see
+// identical input.
+func Feed(src Source, n int, summaries ...core.Summary) {
+	for i := 0; i < n; i++ {
+		it := src.Next()
+		for _, s := range summaries {
+			s.Update(it, 1)
+		}
+	}
+}
+
+// FeedSlice pushes every item of items into each summary with unit counts.
+func FeedSlice(items []core.Item, summaries ...core.Summary) {
+	for _, it := range items {
+		for _, s := range summaries {
+			s.Update(it, 1)
+		}
+	}
+}

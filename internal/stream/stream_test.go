@@ -1,0 +1,124 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"streamfreq/internal/core"
+	"streamfreq/internal/exact"
+)
+
+func TestRoundTrip(t *testing.T) {
+	items := []core.Item{1, 2, 3, 1 << 60, 0}
+	var buf bytes.Buffer
+	if err := Write(&buf, "test meta ✓", items); err != nil {
+		t.Fatal(err)
+	}
+	meta, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != "test meta ✓" {
+		t.Errorf("meta = %q", meta)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("length %d, want %d", len(got), len(items))
+	}
+	for i := range items {
+		if got[i] != items[i] {
+			t.Errorf("item %d = %d, want %d", i, got[i], items[i])
+		}
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	meta, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != "" || len(got) != 0 {
+		t.Errorf("unexpected contents: %q, %v", meta, got)
+	}
+}
+
+func TestReadBadMagic(t *testing.T) {
+	if _, _, err := Read(strings.NewReader("NOTMAGIChello world padding")); err == nil {
+		t.Error("expected bad-magic error")
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	items := []core.Item{1, 2, 3, 4, 5}
+	var buf bytes.Buffer
+	if err := Write(&buf, "m", items); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{5, len(Magic) + 8, len(full) - 3} {
+		if _, _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("expected error for truncation at %d", cut)
+		}
+	}
+}
+
+func TestReadHugeMetadataRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	// n=0, m=2^30 (over the limit)
+	buf.Write([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	buf.Write([]byte{0, 0, 0, 64, 0, 0, 0, 0})
+	if _, _, err := Read(&buf); err == nil {
+		t.Error("expected metadata-limit error")
+	}
+}
+
+func TestReadHugeItemCountRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	// n = 2^40, m = 0
+	buf.Write([]byte{0, 0, 0, 0, 0, 1, 0, 0})
+	buf.Write([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	if _, _, err := Read(&buf); err == nil {
+		t.Error("expected item-count-limit error")
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	src := NewSliceSource([]core.Item{7, 8, 9})
+	if src.Remaining() != 3 {
+		t.Fatalf("Remaining = %d", src.Remaining())
+	}
+	if src.Next() != 7 || src.Next() != 8 || src.Next() != 9 {
+		t.Fatal("wrong item order")
+	}
+	if src.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after drain", src.Remaining())
+	}
+}
+
+func TestFeedFansOut(t *testing.T) {
+	items := []core.Item{1, 1, 2, 3, 1}
+	a, b := exact.New(), exact.New()
+	Feed(NewSliceSource(items), len(items), a, b)
+	for _, c := range []*exact.Counter{a, b} {
+		if c.Estimate(1) != 3 || c.Estimate(2) != 1 || c.Estimate(3) != 1 {
+			t.Errorf("%v: wrong counts", c.Name())
+		}
+		if c.N() != 5 {
+			t.Errorf("N = %d, want 5", c.N())
+		}
+	}
+}
+
+func TestFeedSlice(t *testing.T) {
+	c := exact.New()
+	FeedSlice([]core.Item{4, 4, 4}, c)
+	if c.Estimate(4) != 3 {
+		t.Errorf("count = %d, want 3", c.Estimate(4))
+	}
+}

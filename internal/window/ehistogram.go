@@ -1,0 +1,124 @@
+package window
+
+import (
+	"fmt"
+)
+
+// EHistogram is the exponential histogram of Datar, Gionis, Indyk &
+// Motwani: an O((1/ε)·log²W)-bit structure counting how many events
+// occurred in the last W time steps, with relative error at most ε.
+// It is the classic sliding-window counting primitive — the building
+// block the sliding-window heavy-hitter literature composes with
+// counter summaries — and complements Window, which tracks *which*
+// items are frequent while EHistogram tracks *how many* events a single
+// predicate saw.
+//
+// Events are grouped into buckets of exponentially growing sizes
+// 1, 1, …, 2, 2, …, 4, 4, …; at most ⌈k/2⌉+2 buckets of each size exist
+// (k = ⌈1/ε⌉). Only the oldest bucket straddles the window boundary, and
+// its size is halved in the estimate, which bounds the relative error.
+type EHistogram struct {
+	window int64
+	k      int
+	// buckets are ordered oldest first. ts is the arrival time of the
+	// bucket's most recent event; size is the number of events merged in.
+	buckets []ehBucket
+	now     int64
+	total   int64 // sum of live bucket sizes
+}
+
+type ehBucket struct {
+	ts   int64
+	size int64
+}
+
+// NewEHistogram returns an exponential histogram over a window of the
+// given length with relative error at most epsilon.
+func NewEHistogram(window int64, epsilon float64) (*EHistogram, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("window: EHistogram window must be positive")
+	}
+	if epsilon <= 0 || epsilon > 1 {
+		return nil, fmt.Errorf("window: EHistogram epsilon must be in (0,1]")
+	}
+	k := int(1/epsilon) + 1
+	return &EHistogram{window: window, k: k}, nil
+}
+
+// Observe advances time by one step and records whether an event
+// occurred at it.
+func (h *EHistogram) Observe(event bool) {
+	h.now++
+	h.expire()
+	if !event {
+		return
+	}
+	h.buckets = append(h.buckets, ehBucket{ts: h.now, size: 1})
+	h.total++
+	h.merge()
+}
+
+// expire drops buckets that have fallen wholly out of the window.
+func (h *EHistogram) expire() {
+	cut := 0
+	for cut < len(h.buckets) && h.buckets[cut].ts <= h.now-h.window {
+		h.total -= h.buckets[cut].size
+		cut++
+	}
+	if cut > 0 {
+		h.buckets = h.buckets[cut:]
+	}
+}
+
+// merge enforces the at-most-⌈k/2⌉+2-per-size invariant by combining the
+// two oldest buckets of any overfull size, cascading upward.
+func (h *EHistogram) merge() {
+	limit := (h.k+1)/2 + 2
+	for size := int64(1); ; size *= 2 {
+		// Find buckets of this size (they are contiguous from the back in
+		// arrival order, but scan simply — bucket counts are O(log W)).
+		first, count := -1, 0
+		for i, b := range h.buckets {
+			if b.size == size {
+				if first < 0 {
+					first = i
+				}
+				count++
+			}
+		}
+		if count <= limit {
+			if count == 0 && size > h.total {
+				return
+			}
+			continue
+		}
+		// Merge the two oldest buckets of this size: the merged bucket
+		// keeps the newer timestamp.
+		second := -1
+		for i := first + 1; i < len(h.buckets); i++ {
+			if h.buckets[i].size == size {
+				second = i
+				break
+			}
+		}
+		h.buckets[second].size = 2 * size
+		h.buckets = append(h.buckets[:first], h.buckets[first+1:]...)
+	}
+}
+
+// Count estimates the number of events in the last W steps: the full
+// size of every bucket except the oldest, plus half the oldest (which
+// may straddle the boundary).
+func (h *EHistogram) Count() int64 {
+	h.expire()
+	if len(h.buckets) == 0 {
+		return 0
+	}
+	return h.total - h.buckets[0].size + (h.buckets[0].size+1)/2
+}
+
+// Buckets returns the live bucket count (space accounting and tests).
+func (h *EHistogram) Buckets() int { return len(h.buckets) }
+
+// Bytes returns the approximate footprint.
+func (h *EHistogram) Bytes() int { return 16 * len(h.buckets) }

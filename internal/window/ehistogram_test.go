@@ -1,0 +1,118 @@
+package window
+
+import (
+	"math"
+	"testing"
+
+	"streamfreq/internal/prng"
+)
+
+func TestEHistogramValidation(t *testing.T) {
+	if _, err := NewEHistogram(0, 0.1); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := NewEHistogram(10, 0); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+	if _, err := NewEHistogram(10, 1.5); err == nil {
+		t.Error("epsilon > 1 accepted")
+	}
+}
+
+func TestEHistogramExactWhenSparse(t *testing.T) {
+	h, err := NewEHistogram(100, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fewer events than bucket capacity: count is exact (all size-1
+	// buckets, oldest size 1 halves to 1 via rounding up).
+	for i := 0; i < 50; i++ {
+		h.Observe(i%10 == 0)
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("Count = %d, want 5", got)
+	}
+}
+
+func TestEHistogramRelativeErrorBound(t *testing.T) {
+	const window = 1000
+	eps := 0.1
+	h, err := NewEHistogram(window, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := prng.New(3)
+	var events []bool
+	for step := 0; step < 20000; step++ {
+		ev := rng.Float64() < 0.35
+		h.Observe(ev)
+		events = append(events, ev)
+		if step%500 == 137 {
+			// Exact sliding count.
+			var exact int64
+			for i := len(events) - 1; i >= 0 && i > len(events)-1-window; i-- {
+				if events[i] {
+					exact++
+				}
+			}
+			got := h.Count()
+			if exact == 0 {
+				if got != 0 {
+					t.Fatalf("step %d: Count %d with empty window", step, got)
+				}
+				continue
+			}
+			re := math.Abs(float64(got)-float64(exact)) / float64(exact)
+			if re > 1.5*eps {
+				t.Fatalf("step %d: Count %d vs exact %d (relative error %.3f > %.3f)",
+					step, got, exact, re, 1.5*eps)
+			}
+		}
+	}
+}
+
+func TestEHistogramAllEventsBursts(t *testing.T) {
+	h, _ := NewEHistogram(256, 0.05)
+	// Saturated stream: every step is an event.
+	for i := 0; i < 5000; i++ {
+		h.Observe(true)
+	}
+	got := h.Count()
+	if math.Abs(float64(got)-256) > 0.1*256 {
+		t.Errorf("saturated Count = %d, want ≈ 256", got)
+	}
+	// Then total silence: count must decay to zero after W steps.
+	for i := 0; i < 257; i++ {
+		h.Observe(false)
+	}
+	if got := h.Count(); got != 0 {
+		t.Errorf("Count = %d after silent window, want 0", got)
+	}
+}
+
+func TestEHistogramSpaceLogarithmic(t *testing.T) {
+	h, _ := NewEHistogram(1<<16, 0.1)
+	for i := 0; i < 1<<17; i++ {
+		h.Observe(true)
+	}
+	// k/2+2 ≈ 7 buckets per size, log2(2^16) = 16 sizes → ~120 max.
+	if h.Buckets() > 150 {
+		t.Errorf("%d buckets; space bound violated", h.Buckets())
+	}
+	if h.Bytes() > 150*16 {
+		t.Errorf("Bytes %d inconsistent", h.Bytes())
+	}
+}
+
+func TestEHistogramEmpty(t *testing.T) {
+	h, _ := NewEHistogram(10, 0.5)
+	if h.Count() != 0 {
+		t.Error("fresh histogram nonzero")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(false)
+	}
+	if h.Count() != 0 {
+		t.Error("event-free histogram nonzero")
+	}
+}

@@ -1,0 +1,143 @@
+// Package window provides sliding-window frequent items: heavy hitters
+// over the most recent W stream items, not the whole history. This is the
+// natural "recent trends" extension the VLDB 2008 study's applications
+// call for (queries trending *today*, flows hot *right now*) and a
+// standard follow-up to whole-stream summaries.
+//
+// The construction is block decomposition: the window is covered by B
+// fixed-size blocks, each summarized by an independent Space-Saving
+// summary. The oldest block is dropped as the window slides; queries
+// merge the live blocks. Errors compound from two sources — the per-block
+// Space-Saving overestimate (εW/B per block, εW total) and the boundary
+// block, whose up-to-W/B expired items may still be counted — both
+// bounded and reported via Slack.
+package window
+
+import (
+	"fmt"
+
+	"streamfreq/internal/core"
+	"streamfreq/internal/counters"
+)
+
+// Window summarizes the most recent Size items with B blocks of
+// Space-Saving summaries.
+type Window struct {
+	size      int
+	blocks    int
+	blockLen  int
+	k         int // counters per block summary
+	ring      []*counters.SpaceSavingHeap
+	head      int // index of the block currently being filled
+	curFill   int
+	liveCount int64 // items currently represented (≤ size + blockLen)
+	n         int64 // total items ever seen
+}
+
+// New returns a sliding window of the given size covered by blocks
+// Space-Saving summaries of k counters each. size must be a multiple of
+// blocks.
+func New(size, blocks, k int) (*Window, error) {
+	if size <= 0 || blocks <= 0 || k <= 0 {
+		return nil, fmt.Errorf("window: size, blocks, k must be positive")
+	}
+	if size%blocks != 0 {
+		return nil, fmt.Errorf("window: size %d not a multiple of blocks %d", size, blocks)
+	}
+	// The ring keeps blocks+1 summaries so the live blocks always cover at
+	// least the last W items: B full blocks plus the one being filled.
+	// Coverage therefore spans [W, W + W/B] items, which makes windowed
+	// estimates one-sided (never below the true last-W count).
+	w := &Window{
+		size:     size,
+		blocks:   blocks,
+		blockLen: size / blocks,
+		k:        k,
+		ring:     make([]*counters.SpaceSavingHeap, blocks+1),
+	}
+	w.ring[0] = counters.NewSpaceSavingHeap(k)
+	return w, nil
+}
+
+// Size returns the window length W.
+func (w *Window) Size() int { return w.size }
+
+// N returns the total number of items ever observed.
+func (w *Window) N() int64 { return w.n }
+
+// Live returns the number of items currently represented in the window
+// summaries (at most W + W/B during the boundary block).
+func (w *Window) Live() int64 { return w.liveCount }
+
+// Slack returns the maximum overestimation of any windowed estimate: the
+// sum of per-block Space-Saving slack plus one boundary block of expired
+// items.
+func (w *Window) Slack() int64 {
+	return int64(w.blocks+1)*int64(w.blockLen)/int64(w.k) + int64(w.blockLen)
+}
+
+// Update observes one item (unit count).
+func (w *Window) Update(x core.Item) {
+	w.n++
+	w.liveCount++
+	w.ring[w.head].Update(x, 1)
+	w.curFill++
+	if w.curFill == w.blockLen {
+		// Rotate: the next slot becomes current; whatever it held expires.
+		w.head = (w.head + 1) % len(w.ring)
+		if old := w.ring[w.head]; old != nil {
+			w.liveCount -= old.N()
+		}
+		w.ring[w.head] = counters.NewSpaceSavingHeap(w.k)
+		w.curFill = 0
+	}
+}
+
+// merged builds a fresh summary covering all live blocks.
+func (w *Window) merged() *counters.SpaceSavingHeap {
+	m := counters.NewSpaceSavingHeap(w.k)
+	for _, b := range w.ring {
+		if b == nil || b.N() == 0 {
+			continue
+		}
+		// Merge never fails between same-typed summaries.
+		if err := m.Merge(b); err != nil {
+			panic("window: " + err.Error())
+		}
+	}
+	return m
+}
+
+// Estimate returns an upper-bound estimate of x's count within the
+// current window (plus the boundary block).
+func (w *Window) Estimate(x core.Item) int64 {
+	var total int64
+	for _, b := range w.ring {
+		if b == nil {
+			continue
+		}
+		if g := b.Estimate(x); g > 0 {
+			total += g
+		}
+	}
+	return total
+}
+
+// Query returns the items whose windowed estimate reaches threshold,
+// descending. Recall guarantee: any item with at least threshold
+// occurrences in the current window is reported, because block summaries
+// never underestimate.
+func (w *Window) Query(threshold int64) []core.ItemCount {
+	return w.merged().Query(threshold)
+}
+
+// Bytes reports the footprint of all live block summaries.
+func (w *Window) Bytes() int {
+	total := 0
+	for _, b := range w.ring {
+		if b != nil {
+			total += b.Bytes()
+		}
+	}
+	return total
+}

@@ -1,0 +1,163 @@
+package streamfreq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"streamfreq/internal/core"
+	"streamfreq/internal/counters"
+	"streamfreq/internal/sketches"
+)
+
+// Algorithms returns the paper codes of every registered algorithm, in
+// the order they appear in the paper's plots (counter-based first).
+func Algorithms() []string {
+	names := make([]string, 0, len(factories))
+	for n := range factories {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return factoryOrder[names[i]] < factoryOrder[names[j]] })
+	return names
+}
+
+// CounterBased reports whether the paper code names a counter-based
+// (rather than sketch-based) algorithm.
+func CounterBased(name string) bool {
+	switch strings.ToUpper(name) {
+	case "F", "LC", "LCD", "SSL", "SSH":
+		return true
+	}
+	return false
+}
+
+// New constructs the named algorithm provisioned for threshold phi: the
+// counter budget is k = ⌈1/φ⌉ for counter-based summaries, and the sketch
+// dimensions are chosen so the sketch spends a comparable number of
+// counters per the paper's equal-resource methodology (width 2/φ, depth
+// 4, plus the hierarchy/group-testing overheads inherent to each
+// structure). seed drives all hash randomness; equal (name, phi, seed)
+// summaries are mergeable.
+func New(name string, phi float64, seed uint64) (Summary, error) {
+	if phi <= 0 || phi >= 1 {
+		return nil, fmt.Errorf("streamfreq: phi must be in (0,1), got %g", phi)
+	}
+	f, ok := factories[strings.ToUpper(name)]
+	if !ok {
+		return nil, fmt.Errorf("streamfreq: unknown algorithm %q (have %s)",
+			name, strings.Join(Algorithms(), ", "))
+	}
+	return f(phi, seed), nil
+}
+
+// MustNew is New for static configurations known to be valid; it panics
+// on error.
+func MustNew(name string, phi float64, seed uint64) Summary {
+	s, err := New(name, phi, seed)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// kForPhi is the canonical counter budget for threshold φ.
+func kForPhi(phi float64) int {
+	k := int(1/phi) + 1
+	if k < 2 {
+		k = 2
+	}
+	return k
+}
+
+// sketch sizing constants: depth 4 matches the paper's default of a few
+// rows; width 2/φ gives ε = φ/2 collision noise so sketch precision is
+// comparable to the counter algorithms' guarantee at equal order of
+// space.
+const sketchDepth = 4
+
+func sketchWidth(phi float64) int {
+	w := int(2 / phi)
+	if w < 8 {
+		w = 8
+	}
+	return w
+}
+
+var factories = map[string]func(phi float64, seed uint64) Summary{
+	"F": func(phi float64, _ uint64) Summary {
+		return counters.NewFrequent(kForPhi(phi))
+	},
+	"LC": func(phi float64, _ uint64) Summary {
+		return counters.NewLossyCounting(phi/2, counters.VariantLC)
+	},
+	"LCD": func(phi float64, _ uint64) Summary {
+		return counters.NewLossyCounting(phi/2, counters.VariantLCD)
+	},
+	"SSH": func(phi float64, _ uint64) Summary {
+		return counters.NewSpaceSavingHeap(kForPhi(phi))
+	},
+	"SSL": func(phi float64, _ uint64) Summary {
+		return counters.NewSpaceSavingList(kForPhi(phi))
+	},
+	"CM": func(phi float64, seed uint64) Summary {
+		// Flat Count-Min with a top-2/φ heap tracker (point sketch made
+		// enumerable, as in the paper's CS+heap usage).
+		cm := sketches.NewCountMin(sketchDepth, sketchWidth(phi), seed)
+		return core.NewTracked(cm, 2*kForPhi(phi))
+	},
+	"CS": func(phi float64, seed uint64) Summary {
+		cs := sketches.NewCountSketch(sketchDepth+1, sketchWidth(phi), seed)
+		return core.NewTracked(cs, 2*kForPhi(phi))
+	},
+	"CMH": func(phi float64, seed uint64) Summary {
+		h, err := sketches.NewCountMinHierarchy(sketches.HierarchyConfig{
+			Depth: sketchDepth, Width: sketchWidth(phi), Bits: 8, Seed: seed,
+		})
+		if err != nil {
+			panic(err) // static config; cannot fail
+		}
+		return h
+	},
+	"CSH": func(phi float64, seed uint64) Summary {
+		h, err := sketches.NewCountSketchHierarchy(sketches.HierarchyConfig{
+			Depth: sketchDepth + 1, Width: sketchWidth(phi), Bits: 8, Seed: seed,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return h
+	},
+	"CGT": func(phi float64, seed uint64) Summary {
+		return sketches.NewCGT(sketchDepth, sketchWidth(phi), 64, seed)
+	},
+}
+
+var factoryOrder = map[string]int{
+	"F": 0, "LC": 1, "LCD": 2, "SSL": 3, "SSH": 4,
+	"CM": 5, "CS": 6, "CMH": 7, "CSH": 8, "CGT": 9,
+}
+
+// Decode reconstructs a serialized summary, dispatching on the blob's
+// 4-byte magic. It supports every type with a MarshalBinary method.
+func Decode(data []byte) (Summary, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("streamfreq: blob too short to identify")
+	}
+	switch string(data[:4]) {
+	case "CM01":
+		return sketches.DecodeCountMin(data)
+	case "CS01":
+		return sketches.DecodeCountSketch(data)
+	case "CG01":
+		return sketches.DecodeCGT(data)
+	case "HI01":
+		return sketches.DecodeHierarchical(data)
+	case "FQ01":
+		return counters.DecodeFrequent(data)
+	case "SS01":
+		return counters.DecodeSpaceSavingHeap(data)
+	case "LC01":
+		return counters.DecodeLossyCounting(data)
+	}
+	return nil, fmt.Errorf("streamfreq: unknown blob magic %q", data[:4])
+}
