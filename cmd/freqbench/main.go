@@ -29,6 +29,7 @@ func main() {
 		phi      = flag.Float64("phi", 0.001, "default query threshold fraction")
 		seed     = flag.Uint64("seed", 20080824, "workload and hash seed")
 		algos    = flag.String("algos", "", "comma-separated algorithm filter (default: all)")
+		batch    = flag.Int("batch", 0, "ingest batch length (0 = default, negative = scalar per-item updates)")
 		csvPath  = flag.String("csv", "", "also write machine-readable rows to this file")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		check    = flag.Bool("check", false, "verify the paper's qualitative claims against the results; exit 1 on failure")
@@ -43,11 +44,12 @@ func main() {
 	}
 
 	cfg := harness.Config{
-		N:        *n,
-		Universe: *universe,
-		Phi:      *phi,
-		Seed:     *seed,
-		Out:      os.Stdout,
+		N:           *n,
+		Universe:    *universe,
+		Phi:         *phi,
+		Seed:        *seed,
+		IngestBatch: *batch,
+		Out:         os.Stdout,
 	}
 	if *algos != "" {
 		cfg.Algorithms = strings.Split(*algos, ",")

@@ -35,6 +35,7 @@ func main() {
 		verify = flag.Bool("verify", false, "also compute exact counts and score the report")
 		top    = flag.Int("top", 20, "print at most this many items")
 		text   = flag.Bool("text", false, "read whitespace-separated text tokens instead of a binary stream file")
+		batch  = flag.Int("batch", 0, "ingest batch length (0 = default, negative = scalar per-item updates)")
 	)
 	flag.Parse()
 
@@ -69,9 +70,7 @@ func main() {
 		fatal(err)
 	}
 	timer := metrics.StartTimer()
-	for _, it := range items {
-		s.Update(it, 1)
-	}
+	streamfreq.Replay(s, items, *batch)
 	rate := timer.UpdatesPerMilli(len(items))
 
 	threshold := int64(*phi * float64(len(items)))

@@ -18,6 +18,13 @@ type ItemCount = core.ItemCount
 // core.Summary for the full contract.
 type Summary = core.Summary
 
+// BatchUpdater is implemented by summaries with a native amortized path
+// for batches of unit-count arrivals; see core.BatchUpdater for the
+// contract. Frequent, both Space-Saving variants, the flat sketches, and
+// the concurrency wrappers implement it; use UpdateAll to ingest through
+// the fastest available path uniformly.
+type BatchUpdater = core.BatchUpdater
+
 // Merger is implemented by summaries that combine with a same-typed,
 // same-parameter summary.
 type Merger = core.Merger
@@ -29,6 +36,34 @@ type Subtractor = core.Subtractor
 // ErrIncompatible is returned by Merge and Subtract when operands don't
 // match.
 var ErrIncompatible = core.ErrIncompatible
+
+// DefaultBatchSize is the ingest batch length used by UpdateBatches (and
+// the bundled tools) when the caller does not choose one.
+const DefaultBatchSize = core.DefaultBatchSize
+
+// UpdateAll feeds one unit-count arrival per element of items into s,
+// through s's native batch path when it implements BatchUpdater and the
+// scalar Update loop otherwise.
+func UpdateAll(s Summary, items []Item) { core.UpdateAll(s, items) }
+
+// UpdateBatches replays items into s in bounded batches (batch <= 0
+// selects DefaultBatchSize), keeping batching summaries' scratch space
+// independent of stream length.
+func UpdateBatches(s Summary, items []Item, batch int) { core.UpdateBatches(s, items, batch) }
+
+// Replay is the replay policy shared by the harness and the CLIs'
+// -batch flag: a negative batch forces the scalar per-item Update loop
+// (the pre-batching code path, kept for A/B throughput comparisons);
+// any other value replays through UpdateBatches.
+func Replay(s Summary, items []Item, batch int) {
+	if batch < 0 {
+		for _, it := range items {
+			s.Update(it, 1)
+		}
+		return
+	}
+	core.UpdateBatches(s, items, batch)
+}
 
 // NewFrequent returns the Misra–Gries summary ("F") with k counters:
 // deterministic, insert-only, estimates underestimate by at most n/(k+1).

@@ -1,0 +1,3 @@
+module streamfreq
+
+go 1.24

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
 // Concurrent makes any Summary safe for concurrent use by guarding it
@@ -26,6 +27,18 @@ func (c *Concurrent) Update(x Item, count int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.inner.Update(x, count)
+}
+
+// UpdateBatch implements BatchUpdater with a single lock acquisition for
+// the whole batch, so the per-arrival cost of the mutex is amortized
+// away; the inner summary's own batch path is used when it has one.
+func (c *Concurrent) UpdateBatch(items []Item) {
+	if len(items) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	UpdateAll(c.inner, items)
 }
 
 // Estimate implements Summary.
@@ -67,6 +80,23 @@ func (c *Concurrent) Bytes() int {
 type Sharded struct {
 	shards []*Concurrent
 	mask   uint64
+	bufs   sync.Pool // *shardScatter, reused across UpdateBatch calls
+	// scatterBytes is the high-water footprint of one scatter-buffer
+	// set, charged by Bytes. It is an estimate in both directions, as
+	// the pool's contents are not enumerable: W concurrently-active
+	// batch writers can keep up to W sets pooled (undercharged), and a
+	// GC that discards pooled sets does not reset the mark
+	// (overcharged). Summary.Bytes is documented as approximate; this
+	// keeps batching's resident cost visible at the usual one-writer
+	// or few-writer scale.
+	scatterBytes atomic.Int64
+}
+
+// shardScatter is a per-batch scatter buffer: one pending-item slice per
+// shard. Pooled so concurrent batch writers each get their own set
+// without allocating per batch.
+type shardScatter struct {
+	perShard [][]Item
 }
 
 // NewSharded builds a sharded summary with shards power-of-two workers.
@@ -78,23 +108,66 @@ func NewSharded(shards int, factory func() Summary) *Sharded {
 	for i := 0; i < shards; i++ {
 		s.shards = append(s.shards, NewConcurrent(factory()))
 	}
+	s.bufs.New = func() any {
+		return &shardScatter{perShard: make([][]Item, shards)}
+	}
 	return s
 }
 
 // Name implements Summary.
 func (s *Sharded) Name() string { return s.shards[0].Name() + "-sharded" }
 
-func (s *Sharded) shard(x Item) *Concurrent {
+func (s *Sharded) shardIndex(x Item) uint64 {
 	// SplitMix64 finalizer spreads low-entropy item spaces across shards.
 	v := uint64(x)
 	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
 	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
 	v ^= v >> 31
-	return s.shards[v&s.mask]
+	return v & s.mask
 }
+
+func (s *Sharded) shard(x Item) *Concurrent { return s.shards[s.shardIndex(x)] }
 
 // Update routes the arrival to its item's shard.
 func (s *Sharded) Update(x Item, count int64) { s.shard(x).Update(x, count) }
+
+// UpdateBatch implements BatchUpdater: the batch is scattered into
+// per-shard buffers (paying only the shard hash per item, no locking),
+// then each non-empty shard is flushed under a single lock acquisition.
+// Because every item maps to exactly one shard and per-shard order is
+// preserved, the result is identical to routing each arrival
+// individually; the per-item mutex cost is amortized to one lock per
+// shard per batch.
+func (s *Sharded) UpdateBatch(items []Item) {
+	if len(items) == 0 {
+		return
+	}
+	if len(s.shards) == 1 {
+		s.shards[0].UpdateBatch(items)
+		return
+	}
+	sc := s.bufs.Get().(*shardScatter)
+	for _, x := range items {
+		i := s.shardIndex(x)
+		sc.perShard[i] = append(sc.perShard[i], x)
+	}
+	var scatterCap int64
+	for i, buf := range sc.perShard {
+		scatterCap += int64(cap(buf)) * 8
+		if len(buf) == 0 {
+			continue
+		}
+		s.shards[i].UpdateBatch(buf)
+		sc.perShard[i] = buf[:0]
+	}
+	for {
+		old := s.scatterBytes.Load()
+		if scatterCap <= old || s.scatterBytes.CompareAndSwap(old, scatterCap) {
+			break
+		}
+	}
+	s.bufs.Put(sc)
+}
 
 // Estimate queries the item's shard.
 func (s *Sharded) Estimate(x Item) int64 { return s.shard(x).Estimate(x) }
@@ -119,9 +192,11 @@ func (s *Sharded) Query(threshold int64) []ItemCount {
 	return out
 }
 
-// Bytes sums the shard footprints.
+// Bytes sums the shard footprints plus the retained scatter scratch
+// (the high-water mark of one scatter-buffer set; see scatterBytes for
+// the estimate's limits).
 func (s *Sharded) Bytes() int {
-	total := 0
+	total := int(s.scatterBytes.Load())
 	for _, sh := range s.shards {
 		total += sh.Bytes()
 	}

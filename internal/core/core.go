@@ -73,6 +73,19 @@ type Merger interface {
 	Merge(other Summary) error
 }
 
+// EstimateMonotone is implemented by summaries that can certify their
+// point estimates never decrease while ingesting insert-only unit
+// arrivals (Count-Min's min-of-counters estimator qualifies; Count
+// Sketch's median of signed counters does not — another item's arrival
+// can lower it). Tracked's batched ingest uses this to decide whether
+// deferring heap admissions to the end of a batch is safe.
+type EstimateMonotone interface {
+	// MonotoneEstimates reports whether estimates are currently
+	// non-decreasing under unit arrivals (false once deletions have
+	// been ingested).
+	MonotoneEstimates() bool
+}
+
 // Subtractor is implemented by linear sketches, which can compute the
 // difference of two streams (the Charikar et al. max-change primitive,
 // experiment X1).

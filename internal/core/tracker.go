@@ -14,6 +14,10 @@ type Tracked struct {
 	capacity int
 	index    map[Item]*tkEntry
 	heap     tkHeap
+	// Batch scratch: distinct items of the current batch in
+	// first-appearance order (seen is reused across batches).
+	seen  map[Item]struct{}
+	order []Item
 }
 
 type tkEntry struct {
@@ -47,7 +51,12 @@ func (t *Tracked) N() int64 { return t.inner.N() }
 // Update adds the arrival to the sketch and maintains the heap.
 func (t *Tracked) Update(x Item, count int64) {
 	t.inner.Update(x, count)
-	est := t.inner.Estimate(x)
+	t.admit(x, t.inner.Estimate(x))
+}
+
+// admit offers (x, est) to the top-capacity heap, the §3.2 maintenance
+// step shared by the scalar and batched ingest paths.
+func (t *Tracked) admit(x Item, est int64) {
 	if e, ok := t.index[x]; ok {
 		e.est = est
 		t.heap.fix(e.idx)
@@ -66,6 +75,49 @@ func (t *Tracked) Update(x Item, count int64) {
 		t.index[x] = min
 		t.heap.fix(0)
 	}
+}
+
+// UpdateBatch implements BatchUpdater. When the inner sketch certifies
+// monotone estimates (Count-Min under insert-only arrivals), the whole
+// batch is pushed through the sketch's native batch path (row-major,
+// hoisted hash state — see CountMin.UpdateBatch), then each distinct
+// item is offered to the heap once, in first-appearance order, at its
+// post-batch estimate: point estimates are unaffected by the linear
+// sketch's reordering, a batch-end admission sees every item at an
+// estimate at least as high as any mid-batch arrival would have (this
+// is where monotonicity is load-bearing), and heavy items are
+// re-offered on every batch in which they appear, so only the
+// sub-threshold tail of the tracked heap can differ from scalar replay.
+// Query re-estimates tracked items against the sketch, so reports above
+// the operating threshold match the scalar path (pinned by the
+// registry-wide equivalence test).
+//
+// Non-monotone estimators (Count Sketch: a median of signed counters
+// that other items' arrivals can lower) get the exact per-arrival path
+// — deferring their admissions could miss an item whose estimate was
+// transiently above the heap minimum mid-batch.
+func (t *Tracked) UpdateBatch(items []Item) {
+	if m, ok := t.inner.(EstimateMonotone); !ok || !m.MonotoneEstimates() {
+		for _, x := range items {
+			t.Update(x, 1)
+		}
+		return
+	}
+	UpdateAll(t.inner, items)
+	if t.seen == nil {
+		t.seen = make(map[Item]struct{}, len(items))
+	}
+	for _, x := range items {
+		if _, dup := t.seen[x]; !dup {
+			t.seen[x] = struct{}{}
+			t.order = append(t.order, x)
+		}
+	}
+	for _, x := range t.order {
+		t.admit(x, t.inner.Estimate(x))
+	}
+	clear(t.seen)
+	t.order = t.order[:0]
 }
 
 // Estimate returns the sketch's point estimate.
@@ -95,10 +147,13 @@ func (t *Tracked) TopK(k int) []ItemCount {
 	return all
 }
 
-// Bytes adds the heap footprint to the sketch's.
+// Bytes adds the heap footprint to the sketch's, plus (after batched
+// ingest) the retained dedup scratch — charged at one map entry and one
+// order slot per distinct item of the largest batch seen.
 func (t *Tracked) Bytes() int {
 	const entry = 2 * (8 + 8 + 8)
-	return t.inner.Bytes() + entry*t.capacity
+	const scratchEntry = 8 + 16 // order slot + map key/overhead share
+	return t.inner.Bytes() + entry*t.capacity + scratchEntry*cap(t.order)
 }
 
 // Merge merges the inner sketches and re-selects tracked items from the

@@ -25,6 +25,7 @@ type Frequent struct {
 	offset int64 // logical count of entry e is e.count − offset
 	n      int64
 	decs   int64 // total decrement mass, for diagnostics and tests
+	agg    batchAgg
 }
 
 // NewFrequent returns a Misra–Gries summary with k counters. k must be
@@ -93,6 +94,33 @@ func (f *Frequent) Update(x core.Item, count int64) {
 	}
 }
 
+// UpdateBatch implements core.BatchUpdater for unit-count arrivals: the
+// batch is pre-aggregated in a scratch table and the merged counts
+// applied in first-appearance order, trading per-arrival map lookups
+// and heap sifts for one of each per distinct item in the batch. A
+// weighted Update(x, c) is equivalent to c consecutive unit updates
+// (the min(count, minLogical) decrement rule is the unit rule
+// iterated), but aggregation also moves an item's later arrivals to
+// its first appearance, which can shift the decrement schedule — so
+// individual estimates may differ from the scalar replay by a few
+// units, always within the n/(k+1) deficit bound both replays
+// guarantee (see querySlack in the root package's batch_test.go).
+func (f *Frequent) UpdateBatch(items []core.Item) {
+	for len(items) > maxAggChunk {
+		f.applyBatch(items[:maxAggChunk])
+		items = items[maxAggChunk:]
+	}
+	f.applyBatch(items)
+}
+
+func (f *Frequent) applyBatch(items []core.Item) {
+	distinct := f.agg.aggregate(items)
+	for i := 0; i < distinct; i++ {
+		f.Update(f.agg.pair(i))
+	}
+	f.agg.release()
+}
+
 // Estimate returns the Misra–Gries lower-bound estimate of x's count
 // (0 when x is not tracked). It never overestimates.
 func (f *Frequent) Estimate(x core.Item) int64 {
@@ -133,8 +161,9 @@ func (f *Frequent) Entries() []core.ItemCount {
 	return out
 }
 
-// Bytes implements core.Summary.
-func (f *Frequent) Bytes() int { return entryBytes * f.k }
+// Bytes implements core.Summary; after batched ingest it includes the
+// retained pre-aggregation scratch.
+func (f *Frequent) Bytes() int { return entryBytes*f.k + f.agg.bytes() }
 
 // Merge combines another Frequent summary into this one using the
 // Agarwal et al. mergeable-summaries rule: sum matching counters, then

@@ -21,6 +21,7 @@ type SpaceSavingList struct {
 	min   *ssBucket // bucket with the smallest count (head of list)
 	size  int
 	n     int64
+	agg   batchAgg
 }
 
 type ssBucket struct {
@@ -164,6 +165,28 @@ func (s *SpaceSavingList) Update(x core.Item, count int64) {
 	s.index[x] = e
 }
 
+// UpdateBatch implements core.BatchUpdater for unit-count arrivals,
+// mirroring SpaceSavingHeap.UpdateBatch: pre-aggregate, then bulk-apply
+// merged counts in first-appearance order. For the Stream-Summary
+// structure the amortization shows up as one bucket relink per distinct
+// item per batch — and a weighted relink skips the intermediate buckets
+// a unit-at-a-time walk would have created and destroyed.
+func (s *SpaceSavingList) UpdateBatch(items []core.Item) {
+	for len(items) > maxAggChunk {
+		s.applyBatch(items[:maxAggChunk])
+		items = items[maxAggChunk:]
+	}
+	s.applyBatch(items)
+}
+
+func (s *SpaceSavingList) applyBatch(items []core.Item) {
+	distinct := s.agg.aggregate(items)
+	for i := 0; i < distinct; i++ {
+		s.Update(s.agg.pair(i))
+	}
+	s.agg.release()
+}
+
 // Estimate mirrors SpaceSavingHeap.Estimate.
 func (s *SpaceSavingList) Estimate(x core.Item) int64 {
 	if e, ok := s.index[x]; ok {
@@ -205,10 +228,11 @@ func (s *SpaceSavingList) Entries() []core.ItemCount {
 }
 
 // Bytes accounts the entry payload plus the two extra pointers per entry
-// and the bucket nodes (charged one per entry, the worst case).
+// and the bucket nodes (charged one per entry, the worst case); after
+// batched ingest it includes the retained pre-aggregation scratch.
 func (s *SpaceSavingList) Bytes() int {
 	const listEntry = 2 * (8 + 8 + 8 + 8 + 8 + 8) // item, err, bucket ptr, 2 links + bucket share
-	return listEntry * s.k
+	return listEntry*s.k + s.agg.bytes()
 }
 
 // buckets returns the number of live buckets; used by tests.

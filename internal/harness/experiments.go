@@ -70,7 +70,7 @@ func sweepSkew(c Config, exp string, algos []string) (Result, error) {
 		}
 		truth := exactTruth(stream)
 		for _, algo := range algos {
-			row, err := runCell(exp, algo, "skew", z, c.Phi, c.Seed, stream, truth)
+			row, err := runCell(exp, algo, "skew", z, c.Phi, c.Seed, c.IngestBatch, stream, truth)
 			if err != nil {
 				return res, err
 			}
@@ -90,7 +90,7 @@ func sweepPhi(c Config, exp string, algos []string, mkStream func(Config) ([]cor
 	truth := exactTruth(stream)
 	for _, phi := range c.scalePhis() {
 		for _, algo := range algos {
-			row, err := runCell(exp, algo, "phi", phi, phi, c.Seed, stream, truth)
+			row, err := runCell(exp, algo, "phi", phi, phi, c.Seed, c.IngestBatch, stream, truth)
 			if err != nil {
 				return res, err
 			}
@@ -112,7 +112,7 @@ func RunT1(c Config) (Result, error) {
 	}
 	truth := exactTruth(stream)
 	for _, algo := range c.Algorithms {
-		row, err := runCell("T1", algo, "phi", c.Phi, c.Phi, c.Seed, stream, truth)
+		row, err := runCell("T1", algo, "phi", c.Phi, c.Phi, c.Seed, c.IngestBatch, stream, truth)
 		if err != nil {
 			return res, err
 		}
@@ -230,9 +230,7 @@ func RunF11(c Config) (Result, error) {
 			return res, err
 		}
 		timer := metrics.StartTimer()
-		for _, it := range stream {
-			h.Update(it, 1)
-		}
+		ingest(h, stream, c.IngestBatch)
 		rate := timer.UpdatesPerMilli(len(stream))
 		acc := metrics.Evaluate(h.Query(threshold), truthMap)
 		res.Rows = append(res.Rows, Row{
@@ -260,7 +258,7 @@ func RunF12(c Config) (Result, error) {
 		}
 		truth := exactTruth(stream)
 		for _, algo := range c.Algorithms {
-			row, err := runCell("F12", algo, "n", float64(sub.N), c.Phi, c.Seed, stream, truth)
+			row, err := runCell("F12", algo, "n", float64(sub.N), c.Phi, c.Seed, c.IngestBatch, stream, truth)
 			if err != nil {
 				return res, err
 			}
@@ -311,12 +309,8 @@ func RunX1(c Config) (Result, error) {
 	} {
 		a, b := mk.new(), mk.new()
 		timer := metrics.StartTimer()
-		for _, it := range s1 {
-			a.Update(it, 1)
-		}
-		for _, it := range s2 {
-			b.Update(it, 1)
-		}
+		ingest(a, s1, c.IngestBatch)
+		ingest(b, s2, c.IngestBatch)
 		rate := timer.UpdatesPerMilli(len(s1) + len(s2))
 		if err := b.(core.Subtractor).Subtract(a); err != nil {
 			return res, err
@@ -428,9 +422,34 @@ func RunX2(c Config) (Result, error) {
 				return res, err
 			}
 		}
+		// Partition round-robin, then replay each part through the same
+		// configured ingest path as the control, so the merged-vs-single
+		// throughput comparison isolates sharding rather than the replay
+		// path.
 		timer := metrics.StartTimer()
-		for i, it := range stream {
-			parts[i%shards].Update(it, 1)
+		if c.IngestBatch < 0 {
+			for i, it := range stream {
+				parts[i%shards].Update(it, 1)
+			}
+		} else {
+			chunk := c.IngestBatch
+			if chunk <= 0 {
+				chunk = core.DefaultBatchSize
+			}
+			buf := make([]core.Item, 0, chunk)
+			for j := range parts {
+				buf = buf[:0]
+				for i := j; i < len(stream); i += shards {
+					buf = append(buf, stream[i])
+					if len(buf) == chunk {
+						core.UpdateAll(parts[j], buf)
+						buf = buf[:0]
+					}
+				}
+				if len(buf) > 0 {
+					core.UpdateAll(parts[j], buf)
+				}
+			}
 		}
 		rate := timer.UpdatesPerMilli(len(stream))
 		merged := parts[0]
@@ -451,14 +470,14 @@ func RunX2(c Config) (Result, error) {
 		if err != nil {
 			return res, err
 		}
-		for _, it := range stream {
-			control.Update(it, 1)
-		}
+		ctimer := metrics.StartTimer()
+		ingest(control, stream, c.IngestBatch)
+		crate := ctimer.UpdatesPerMilli(len(stream))
 		cacc := metrics.Evaluate(control.Query(threshold), truthMap)
 		res.Rows = append(res.Rows, Row{
 			Exp: "X2", Algo: algo + "-single", XLabel: "shards", X: 1,
 			Precision: cacc.Precision, Recall: cacc.Recall, ARE: cacc.ARE,
-			UpdPerMs: rate, Bytes: control.Bytes(),
+			UpdPerMs: crate, Bytes: control.Bytes(),
 		})
 	}
 	return res, nil

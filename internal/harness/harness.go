@@ -41,6 +41,11 @@ type Config struct {
 	Seed uint64
 	// Algorithms filters the roster (nil = all registered).
 	Algorithms []string
+	// IngestBatch is the replay batch length: 0 selects
+	// core.DefaultBatchSize, and a negative value forces the scalar
+	// per-item Update loop (the pre-batching code path, kept for A/B
+	// throughput comparisons from cmd/freqbench -batch=-1).
+	IngestBatch int
 	// Out receives the human-readable tables.
 	Out io.Writer
 	// CSVOut, when non-nil, additionally receives machine-readable rows.
@@ -126,18 +131,25 @@ type Result struct {
 	Rows  []Row
 }
 
+// ingest replays stream into s per Config.IngestBatch; the policy
+// (negative = scalar loop, otherwise batched) lives in streamfreq.Replay
+// so the CLIs' -batch flag and the harness stay in lockstep.
+func ingest(s core.Summary, stream []core.Item, batch int) {
+	streamfreq.Replay(s, stream, batch)
+}
+
 // runCell feeds stream to a fresh instance of algo, measures throughput,
-// queries at threshold, and scores against truth.
-func runCell(exp, algo, xlabel string, x float64, phi float64, seed uint64,
+// queries at threshold, and scores against truth. Replay is batched (see
+// Config.IngestBatch) so measured throughput reflects each algorithm's
+// fastest ingest path, the quantity the paper's figures rank by.
+func runCell(exp, algo, xlabel string, x float64, phi float64, seed uint64, batch int,
 	stream []core.Item, truth *exact.Counter) (Row, error) {
 	s, err := streamfreq.New(algo, phi, seed)
 	if err != nil {
 		return Row{}, err
 	}
 	timer := metrics.StartTimer()
-	for _, it := range stream {
-		s.Update(it, 1)
-	}
+	ingest(s, stream, batch)
 	rate := timer.UpdatesPerMilli(len(stream))
 
 	threshold := int64(phi * float64(len(stream)))

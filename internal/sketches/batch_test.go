@@ -1,0 +1,101 @@
+package sketches
+
+import (
+	"testing"
+
+	"streamfreq/internal/core"
+	"streamfreq/internal/prng"
+)
+
+func sketchBatchStream(n int) []core.Item {
+	rng := prng.New(0x5EEC)
+	out := make([]core.Item, n)
+	for i := range out {
+		out[i] = core.Item(rng.Uint64n(1 << 18))
+	}
+	return out
+}
+
+// TestCountMinBatchExact: the sketch is linear, so the row-major batch
+// path must land every counter exactly where the scalar path does —
+// verified through point estimates over the whole touched universe
+// region plus N.
+func TestCountMinBatchExact(t *testing.T) {
+	stream := sketchBatchStream(20_000)
+	scalar := NewCountMin(4, 512, 99)
+	for _, it := range stream {
+		scalar.Update(it, 1)
+	}
+	batched := NewCountMin(4, 512, 99)
+	core.UpdateBatches(batched, stream, 777)
+	if scalar.N() != batched.N() {
+		t.Fatalf("N %d vs %d", batched.N(), scalar.N())
+	}
+	for probe := core.Item(0); probe < 4096; probe++ {
+		if s, b := scalar.Estimate(probe), batched.Estimate(probe); s != b {
+			t.Fatalf("Estimate(%d): batched %d, scalar %d", probe, b, s)
+		}
+	}
+}
+
+// TestCountMinConservativeBatchExact: conservative update is not linear,
+// so its batch path retains per-arrival processing; results must match
+// the scalar conservative run bit for bit.
+func TestCountMinConservativeBatchExact(t *testing.T) {
+	stream := sketchBatchStream(20_000)
+	scalar := NewCountMinConservative(4, 512, 99)
+	for _, it := range stream {
+		scalar.Update(it, 1)
+	}
+	batched := NewCountMinConservative(4, 512, 99)
+	core.UpdateBatches(batched, stream, 777)
+	if scalar.N() != batched.N() {
+		t.Fatalf("N %d vs %d", batched.N(), scalar.N())
+	}
+	for probe := core.Item(0); probe < 4096; probe++ {
+		if s, b := scalar.Estimate(probe), batched.Estimate(probe); s != b {
+			t.Fatalf("Estimate(%d): batched %d, scalar %d", probe, b, s)
+		}
+	}
+}
+
+// TestCountSketchBatchExact mirrors the Count-Min check for the signed
+// estimator.
+func TestCountSketchBatchExact(t *testing.T) {
+	stream := sketchBatchStream(20_000)
+	scalar := NewCountSketch(5, 512, 99)
+	for _, it := range stream {
+		scalar.Update(it, 1)
+	}
+	batched := NewCountSketch(5, 512, 99)
+	core.UpdateBatches(batched, stream, 777)
+	if scalar.N() != batched.N() {
+		t.Fatalf("N %d vs %d", batched.N(), scalar.N())
+	}
+	for probe := core.Item(0); probe < 4096; probe++ {
+		if s, b := scalar.Estimate(probe), batched.Estimate(probe); s != b {
+			t.Fatalf("Estimate(%d): batched %d, scalar %d", probe, b, s)
+		}
+	}
+}
+
+// TestBatchedSketchStillMerges: batch ingest must leave the sketch as
+// mergeable/subtractable as scalar ingest does (same rows, same n, no
+// mode flags flipped).
+func TestBatchedSketchStillMerges(t *testing.T) {
+	stream := sketchBatchStream(10_000)
+	a := NewCountMin(4, 256, 5)
+	b := NewCountMin(4, 256, 5)
+	core.UpdateBatches(a, stream[:5_000], 512)
+	core.UpdateBatches(b, stream[5_000:], 512)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	whole := NewCountMin(4, 256, 5)
+	core.UpdateBatches(whole, stream, 512)
+	for probe := core.Item(0); probe < 1024; probe++ {
+		if m, w := a.Estimate(probe), whole.Estimate(probe); m != w {
+			t.Fatalf("Estimate(%d): merged %d, whole-stream %d", probe, m, w)
+		}
+	}
+}

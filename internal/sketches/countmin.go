@@ -94,6 +94,10 @@ func (c *CountMin) Name() string {
 	return "CM"
 }
 
+// MonotoneEstimates implements core.EstimateMonotone: counters (and so
+// the min estimator) only grow until a deletion is ingested.
+func (c *CountMin) MonotoneEstimates() bool { return !c.neg }
+
 // Depth returns d; Width returns w.
 func (c *CountMin) Depth() int { return c.depth }
 
@@ -120,6 +124,33 @@ func (c *CountMin) Update(x core.Item, count int64) {
 	xv := uint64(x)
 	for i := range c.rows {
 		c.rows[i][c.family.Buckets[i].Hash(xv)] += count
+	}
+}
+
+// UpdateBatch implements core.BatchUpdater for unit-count arrivals by
+// processing the batch row by row: the row slice and its hash function
+// are loaded once per row instead of once per arrival, and all writes of
+// a row land in the same w-counter window, which keeps the touched
+// cache lines resident across the batch (the scalar path cycles through
+// all d rows between consecutive touches of any one row). Because the
+// sketch is linear, the reordering is exact.
+//
+// Conservative sketches are not linear — each arrival's write depends on
+// the estimate at that arrival — so they keep per-arrival processing.
+func (c *CountMin) UpdateBatch(items []core.Item) {
+	if c.conservative {
+		for _, x := range items {
+			c.updateConservative(x, 1)
+		}
+		return
+	}
+	c.n += int64(len(items))
+	for i := range c.rows {
+		row := c.rows[i]
+		h := c.family.Buckets[i]
+		for _, x := range items {
+			row[h.Hash(uint64(x))]++
+		}
 	}
 }
 

@@ -88,6 +88,24 @@ func (c *CountSketch) Update(x core.Item, count int64) {
 	}
 }
 
+// UpdateBatch implements core.BatchUpdater for unit-count arrivals,
+// processing row by row with the row slice, bucket hash, and sign hash
+// hoisted out of the item loop (see CountMin.UpdateBatch for why the
+// row-major order is also the cache-friendly one). Linearity makes the
+// reordering exact.
+func (c *CountSketch) UpdateBatch(items []core.Item) {
+	c.n += int64(len(items))
+	for i := range c.rows {
+		row := c.rows[i]
+		h := c.family.Buckets[i]
+		sg := c.family.Signs[i]
+		for _, x := range items {
+			xv := uint64(x)
+			row[h.Hash(xv)] += sg.Hash(xv)
+		}
+	}
+}
+
 // Estimate implements the ESTIMATE operation: the median over rows of the
 // signed counter values.
 func (c *CountSketch) Estimate(x core.Item) int64 {

@@ -137,27 +137,42 @@ var factoryOrder = map[string]int{
 	"CM": 5, "CS": 6, "CMH": 7, "CSH": 8, "CGT": 9,
 }
 
+// decoders maps each wire-format magic to its decoder. Keep in sync with
+// the MarshalBinary implementations in internal/counters and
+// internal/sketches.
+var decoders = map[string]func([]byte) (Summary, error){
+	"CM01": func(b []byte) (Summary, error) { return sketches.DecodeCountMin(b) },
+	"CS01": func(b []byte) (Summary, error) { return sketches.DecodeCountSketch(b) },
+	"CG01": func(b []byte) (Summary, error) { return sketches.DecodeCGT(b) },
+	"HI01": func(b []byte) (Summary, error) { return sketches.DecodeHierarchical(b) },
+	"FQ01": func(b []byte) (Summary, error) { return counters.DecodeFrequent(b) },
+	"SS01": func(b []byte) (Summary, error) { return counters.DecodeSpaceSavingHeap(b) },
+	"LC01": func(b []byte) (Summary, error) { return counters.DecodeLossyCounting(b) },
+}
+
+// SupportedMagics returns the wire-format magics Decode can dispatch on,
+// sorted for stable display.
+func SupportedMagics() []string {
+	out := make([]string, 0, len(decoders))
+	for m := range decoders {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Decode reconstructs a serialized summary, dispatching on the blob's
 // 4-byte magic. It supports every type with a MarshalBinary method.
 func Decode(data []byte) (Summary, error) {
 	if len(data) < 4 {
-		return nil, fmt.Errorf("streamfreq: blob too short to identify")
+		return nil, fmt.Errorf("streamfreq: blob too short to identify (%d bytes, magic needs 4)", len(data))
 	}
-	switch string(data[:4]) {
-	case "CM01":
-		return sketches.DecodeCountMin(data)
-	case "CS01":
-		return sketches.DecodeCountSketch(data)
-	case "CG01":
-		return sketches.DecodeCGT(data)
-	case "HI01":
-		return sketches.DecodeHierarchical(data)
-	case "FQ01":
-		return counters.DecodeFrequent(data)
-	case "SS01":
-		return counters.DecodeSpaceSavingHeap(data)
-	case "LC01":
-		return counters.DecodeLossyCounting(data)
+	if d, ok := decoders[string(data[:4])]; ok {
+		return d(data)
 	}
-	return nil, fmt.Errorf("streamfreq: unknown blob magic %q", data[:4])
+	// The magic may be arbitrary (possibly non-printable) bytes — a
+	// truncated upload, a foreign format — so render it as hex, and name
+	// the formats this build can decode.
+	return nil, fmt.Errorf("streamfreq: unknown blob magic 0x%x (supported: %s)",
+		data[:4], strings.Join(SupportedMagics(), " "))
 }
