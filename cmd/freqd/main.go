@@ -1,0 +1,98 @@
+// Command freqd serves frequent-items queries over a live stream: it
+// ingests items continuously over HTTP and answers top-k / point-
+// estimate queries from epoch snapshots, so heavy read traffic never
+// blocks the ingest hot path.
+//
+// Usage:
+//
+//	freqd -algo SSH -phi 0.001 -addr :8080
+//	freqd -algo CM -phi 0.01 -shards 8 -staleness 250ms
+//
+// Ingest (any of):
+//
+//	curl -X POST --data-binary @items.raw -H 'Content-Type: application/octet-stream' localhost:8080/ingest
+//	cat access.log | awk '{print $7}' | curl -X POST --data-binary @- -H 'Content-Type: text/plain' localhost:8080/ingest
+//	curl -X POST --data-binary @zipf11.stream -H 'Content-Type: application/x-sfstream' localhost:8080/ingest
+//
+// Query:
+//
+//	curl 'localhost:8080/topk?phi=0.001&k=20'
+//	curl 'localhost:8080/estimate?token=/index.html'
+//	curl 'localhost:8080/stats'
+//
+// Queries are served from a snapshot refreshed at most once per
+// -staleness window; POST /refresh forces a fresh one. SIGINT/SIGTERM
+// shut the server down gracefully.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"streamfreq"
+	"streamfreq/internal/core"
+	"streamfreq/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		algo      = flag.String("algo", "SSH", "algorithm code (freqbench -list shows the roster)")
+		phi       = flag.Float64("phi", 0.001, "provision the summary for thresholds down to phi")
+		seed      = flag.Uint64("seed", 1, "hash seed for sketches")
+		shards    = flag.Int("shards", 1, "ingest shards (power of two; 1 = single mutex)")
+		staleness = flag.Duration("staleness", 100*time.Millisecond, "query snapshot staleness bound (0 = always fresh)")
+		batch     = flag.Int("batch", 0, "ingest batch length (0 = default)")
+	)
+	flag.Parse()
+
+	target, err := buildTarget(*algo, *phi, *seed, *shards, *staleness)
+	if err != nil {
+		fatal(err)
+	}
+	srv := serve.NewServer(serve.Options{Target: target, Algo: *algo, IngestBatch: *batch})
+
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "freqd: %v, draining\n", s)
+		close(stop)
+	}()
+
+	fmt.Printf("freqd: serving %s (phi=%g, shards=%d, staleness=%v) on %s\n",
+		*algo, *phi, *shards, *staleness, *addr)
+	if err := srv.ListenAndServe(*addr, stop); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+}
+
+// buildTarget wraps a registry summary for serving: Sharded across
+// power-of-two shards when asked, plain Concurrent otherwise, with
+// snapshot reads enabled either way.
+func buildTarget(algo string, phi float64, seed uint64, shards int, staleness time.Duration) (serve.Target, error) {
+	if _, err := streamfreq.New(algo, phi, seed); err != nil {
+		return nil, err // validate algo/phi before wrapping
+	}
+	if shards <= 0 || shards&(shards-1) != 0 {
+		return nil, fmt.Errorf("-shards must be a positive power of two, got %d", shards)
+	}
+	if shards > 1 {
+		s := core.NewSharded(shards, func() core.Summary {
+			return streamfreq.MustNew(algo, phi, seed)
+		})
+		return s.ServeSnapshots(staleness), nil
+	}
+	return core.NewConcurrent(streamfreq.MustNew(algo, phi, seed)).ServeSnapshots(staleness), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "freqd:", err)
+	os.Exit(1)
+}

@@ -13,7 +13,6 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -110,8 +109,9 @@ func main() {
 	}
 }
 
-// readTokens reads whitespace-separated tokens from path ("-" = stdin),
-// hashing each to an item and remembering token spellings for output.
+// readTokens reads whitespace-separated tokens from path ("-" = stdin)
+// through the shared stream.TokenSource (the same reader freqd's text
+// ingest uses), returning the hashed items and token spellings.
 func readTokens(path string) ([]core.Item, map[core.Item]string, error) {
 	var r io.Reader = os.Stdin
 	if path != "-" {
@@ -122,23 +122,7 @@ func readTokens(path string) ([]core.Item, map[core.Item]string, error) {
 		defer f.Close()
 		r = f
 	}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	sc.Split(bufio.ScanWords)
-	var items []core.Item
-	names := make(map[core.Item]string)
-	for sc.Scan() {
-		tok := sc.Text()
-		it := core.HashString(tok)
-		items = append(items, it)
-		if _, ok := names[it]; !ok {
-			names[it] = tok
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, nil, err
-	}
-	return items, names, nil
+	return stream.ReadTokens(r)
 }
 
 func fatal(err error) {

@@ -5,6 +5,7 @@ package streamfreq
 // failure-injection arm of the test plan (DESIGN.md §6).
 
 import (
+	"bytes"
 	"testing"
 	"testing/quick"
 
@@ -86,6 +87,149 @@ func TestDecodeBitFlippedBlobs(t *testing.T) {
 			}()
 		}
 	}
+}
+
+// FuzzDecode is the native-fuzzing arm of the hostile-input property:
+// whatever bytes arrive, Decode errors or returns a structurally valid
+// summary — never a panic. The seed corpus covers every supported magic
+// with both valid and garbage payloads.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("CM0"))
+	f.Add([]byte("NOPE-not-a-summary"))
+	for _, magic := range SupportedMagics() {
+		f.Add(append([]byte(magic), 0xde, 0xad, 0xbe, 0xef))
+	}
+	seedSources := []Summary{
+		NewFrequent(4),
+		NewSpaceSaving(4),
+		NewLossyCounting(0.1),
+		NewCountMin(2, 16, 3),
+		NewCountSketch(3, 16, 3),
+		NewCGT(2, 8, 16, 3),
+	}
+	for _, s := range seedSources {
+		s.Update(1, 5)
+		s.Update(2, 2)
+		blob, err := s.(interface{ MarshalBinary() ([]byte, error) }).MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Decode panicked on %d bytes: %v", len(data), r)
+			}
+		}()
+		dec, err := Decode(data)
+		if err == nil && dec != nil {
+			_ = dec.Estimate(1)
+			_ = dec.Bytes()
+			_ = dec.Query(1)
+			_ = dec.N()
+		}
+	})
+}
+
+// fuzzItems turns fuzz bytes into a small-universe item stream: each
+// byte contributes one arrival from a 32-item universe, forcing heavy
+// collision/eviction traffic through every summary.
+func fuzzItems(data []byte) []Item {
+	if len(data) > 2048 {
+		data = data[:2048]
+	}
+	items := make([]Item, len(data))
+	for i, b := range data {
+		items[i] = Item(b % 32)
+	}
+	return items
+}
+
+// FuzzSnapshotRoundTrip is the Clone→Encode→Decode property over the
+// counter encodings (FQ01, SS01, LC01) alongside the sketch magics
+// (CM01 — plain and conservative — CS01, CG01, HI01): for any ingest
+// history, a snapshot's serialization decodes to a summary that answers
+// exactly like the parent, and serializing the snapshot after the parent
+// has moved on yields the same bytes as serializing it before — the wire
+// form of snapshot immutability.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0})
+	f.Add([]byte("abacabadabacaba"))
+	f.Add(bytes.Repeat([]byte{1, 1, 2, 3, 5, 8, 13, 21}, 40))
+	seed := make([]byte, 257)
+	for i := range seed {
+		seed[i] = byte(i * 31)
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		items := fuzzItems(data)
+		builders := []func() Summary{
+			func() Summary { return NewFrequent(5) },
+			func() Summary { return NewSpaceSaving(5) },
+			func() Summary { return NewLossyCounting(0.1) },
+			func() Summary { return NewLossyCountingD(0.1) },
+			func() Summary { return NewCountMin(2, 16, 3) },
+			func() Summary { return NewCountMinConservative(2, 16, 3) },
+			func() Summary { return NewCountSketch(3, 16, 3) },
+			func() Summary { return NewCGT(2, 8, 8, 3) },
+			func() Summary {
+				h, err := NewCountMinHierarchy(HierarchyConfig{Depth: 2, Width: 16, Bits: 4, UniverseBits: 8, Seed: 3})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return h
+			},
+		}
+		for _, mk := range builders {
+			parent := mk()
+			for _, it := range items {
+				parent.Update(it, 1)
+			}
+			snap := parent.(Snapshotter).Snapshot()
+			blob, err := snap.(interface{ MarshalBinary() ([]byte, error) }).MarshalBinary()
+			if err != nil {
+				t.Fatalf("%s: marshal snapshot: %v", parent.Name(), err)
+			}
+			dec, err := Decode(blob)
+			if err != nil {
+				t.Fatalf("%s: decode snapshot blob: %v", parent.Name(), err)
+			}
+			if dec.N() != parent.N() {
+				t.Fatalf("%s: decoded N = %d, parent %d", parent.Name(), dec.N(), parent.N())
+			}
+			for u := Item(0); u < 32; u++ {
+				if de, pe := dec.Estimate(u), parent.Estimate(u); de != pe {
+					t.Fatalf("%s: decoded Estimate(%d) = %d, parent %d", parent.Name(), u, de, pe)
+				}
+			}
+			// Advance the parent; the snapshot's wire form must not move.
+			parent.Update(Item(7), 3)
+			blob2, err := snap.(interface{ MarshalBinary() ([]byte, error) }).MarshalBinary()
+			if err != nil {
+				t.Fatalf("%s: re-marshal snapshot: %v", parent.Name(), err)
+			}
+			if len(blob2) != len(blob) {
+				t.Fatalf("%s: snapshot blob changed size after parent update (%d → %d bytes)",
+					parent.Name(), len(blob), len(blob2))
+			}
+			// Map-backed encoders (LC01) serialize entries in map order, so
+			// compare decoded behaviour, not raw bytes.
+			dec2, err := Decode(blob2)
+			if err != nil {
+				t.Fatalf("%s: decode re-marshaled blob: %v", parent.Name(), err)
+			}
+			for u := Item(0); u < 32; u++ {
+				if a, b := dec2.Estimate(u), dec.Estimate(u); a != b {
+					t.Fatalf("%s: snapshot drifted after parent update: Estimate(%d) %d → %d",
+						parent.Name(), u, b, a)
+				}
+			}
+		}
+	})
 }
 
 func TestDecodeTruncationsNeverPanic(t *testing.T) {

@@ -33,6 +33,19 @@
 // sized for threshold φ, which is how the benchmark harness provisions
 // the contenders fairly.
 //
+// # Serving queries under ingest
+//
+// Every summary implements Snapshotter: Snapshot() returns an
+// independent deep copy, frozen at the moment it is taken. The
+// Concurrent and Sharded wrappers build on this with ServeSnapshots,
+// which answers Query/Estimate/N from an epoch snapshot refreshed at
+// most once per staleness window — readers never take the ingest lock,
+// so query traffic does not slow the batched ingest hot path. The freqd
+// command (cmd/freqd) exposes the combination over HTTP: continuous
+// binary or text ingest on POST /ingest, heavy-hitter reports on
+// GET /topk, point estimates on GET /estimate, and snapshot freshness on
+// GET /stats.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction results.
 package streamfreq

@@ -1,0 +1,165 @@
+// Serving: queries answered while the stream is still arriving — the
+// freqd scenario. An in-process freqd server ingests a Zipf stream over
+// real HTTP (binary batches, two concurrent writers) while a client
+// polls /topk and /stats against whatever epoch snapshot is being
+// served; at the end a forced /refresh cuts over and the final report is
+// checked against exact counts.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"streamfreq"
+	"streamfreq/internal/core"
+	"streamfreq/internal/exact"
+	"streamfreq/internal/serve"
+	"streamfreq/internal/stream"
+	"streamfreq/internal/zipf"
+)
+
+const (
+	phi       = 0.001
+	seed      = 1
+	streamN   = 1_000_000
+	staleness = 50 * time.Millisecond
+)
+
+func main() {
+	// --- The server side --------------------------------------------------
+	// Queries are served from epoch snapshots refreshed at most every
+	// `staleness`, so the poll loop below never touches the ingest lock.
+	target := core.NewConcurrent(streamfreq.MustNew("SSH", phi, seed)).ServeSnapshots(staleness)
+	srv := serve.NewServer(serve.Options{Target: target, Algo: "SSH"})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := http.Serve(ln, srv.Handler()); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("freqd serving SSH (φ=%g, staleness=%v) on %s\n\n", phi, staleness, base)
+
+	// --- The writer side: two clients streaming binary batches ------------
+	gen, err := zipf.NewGenerator(1<<18, 1.1, 7, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	items := gen.Stream(streamN)
+	truth := exact.New()
+	for _, it := range items {
+		truth.Update(it, 1)
+	}
+
+	var wg sync.WaitGroup
+	const chunk = 64 * 1024
+	half := len(items) / 2
+	for w, part := range [][]streamfreq.Item{items[:half], items[half:]} {
+		wg.Add(1)
+		go func(w int, part []streamfreq.Item) {
+			defer wg.Done()
+			for len(part) > 0 {
+				n := min(chunk, len(part))
+				body := stream.AppendRaw(nil, part[:n])
+				resp, err := http.Post(base+"/ingest", "application/octet-stream", bytes.NewReader(body))
+				if err != nil {
+					log.Fatalf("writer %d: %v", w, err)
+				}
+				resp.Body.Close()
+				part = part[n:]
+			}
+		}(w, part)
+	}
+
+	// --- The reader side: polling mid-ingest -------------------------------
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	ticker := time.NewTicker(20 * time.Millisecond)
+	defer ticker.Stop()
+poll:
+	for {
+		select {
+		case <-done:
+			break poll
+		case <-ticker.C:
+			var st struct {
+				N        int64 `json:"n"`
+				Snapshot struct {
+					AsOfN int64 `json:"as_of_n"`
+					AgeMs int64 `json:"age_ms"`
+				} `json:"snapshot"`
+			}
+			getJSON(base+"/stats", &st)
+			fmt.Printf("mid-ingest: served n=%d (snapshot age %dms, ingest at n=%d)\n",
+				st.Snapshot.AsOfN, st.Snapshot.AgeMs, st.N)
+		}
+	}
+
+	// --- Cutover and final report ------------------------------------------
+	resp, err := http.Post(base+"/refresh", "application/json", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var tr struct {
+		N         int64 `json:"n"`
+		Threshold int64 `json:"threshold"`
+		Items     []struct {
+			Item  uint64 `json:"item"`
+			Count int64  `json:"count"`
+		} `json:"items"`
+	}
+	getJSON(fmt.Sprintf("%s/topk?phi=%g&k=10", base, phi), &tr)
+
+	fmt.Printf("\nfinal /topk at φn = %d (n = %d):\n", tr.Threshold, tr.N)
+	fmt.Println("key                 estimate  exact")
+	for _, ic := range tr.Items {
+		fmt.Printf("%#-18x  %8d  %8d\n", ic.Item, ic.Count, truth.Estimate(streamfreq.Item(ic.Item)))
+	}
+
+	missed := 0
+	reported := map[uint64]bool{}
+	for _, ic := range tr.Items {
+		reported[ic.Item] = true
+	}
+	var trAll struct {
+		Items []struct {
+			Item uint64 `json:"item"`
+		} `json:"items"`
+	}
+	getJSON(fmt.Sprintf("%s/topk?phi=%g", base, phi), &trAll)
+	inReport := map[uint64]bool{}
+	for _, ic := range trAll.Items {
+		inReport[ic.Item] = true
+	}
+	for _, tc := range truth.Query(tr.Threshold) {
+		if !inReport[uint64(tc.Item)] {
+			missed++
+		}
+	}
+	fmt.Printf("\nrecall check: %d hot keys missed (must be 0)\n", missed)
+}
+
+func getJSON(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatalf("GET %s: %v", url, err)
+	}
+}

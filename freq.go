@@ -25,6 +25,15 @@ type Summary = core.Summary
 // the fastest available path uniformly.
 type BatchUpdater = core.BatchUpdater
 
+// Snapshotter is implemented by summaries that can produce an
+// independent point-in-time deep copy of themselves; every algorithm in
+// the registry does. Snapshots are the serving primitive: Concurrent and
+// Sharded answer queries from epoch snapshots (ServeSnapshots) so
+// readers never block ingest, and a snapshot can be serialized or merged
+// while its parent keeps ingesting. See core.Snapshotter for the exact
+// independence contract.
+type Snapshotter = core.Snapshotter
+
 // Merger is implemented by summaries that combine with a same-typed,
 // same-parameter summary.
 type Merger = core.Merger
@@ -150,11 +159,15 @@ func NewTracked(inner Summary, capacity int) *core.Tracked {
 	return core.NewTracked(inner, capacity)
 }
 
-// NewConcurrent makes any summary safe for concurrent use.
+// NewConcurrent makes any summary safe for concurrent use. Call
+// ServeSnapshots on the result to answer queries from epoch snapshots
+// instead of locking the summary on every read.
 func NewConcurrent(inner Summary) *core.Concurrent { return core.NewConcurrent(inner) }
 
 // NewSharded partitions ingest across a power-of-two number of
-// independently locked summaries.
+// independently locked summaries. Call ServeSnapshots on the result for
+// lock-free snapshot reads; Snapshot merges per-shard clones into one
+// independent summary of the whole stream.
 func NewSharded(shards int, factory func() Summary) *core.Sharded {
 	return core.NewSharded(shards, factory)
 }

@@ -3,20 +3,72 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Concurrent makes any Summary safe for concurrent use by guarding it
 // with a mutex. For higher ingest parallelism use Sharded, which
 // partitions the stream across independent summaries and merges at query
 // time.
+//
+// By default reads (Estimate, Query, N) take the same mutex as ingest.
+// ServeSnapshots switches reads to an epoch-style snapshot path: queries
+// are answered from an immutable clone of the summary that is refreshed
+// at most once per staleness window, so a storm of readers costs the
+// ingest path one clone per window instead of one lock acquisition per
+// read.
 type Concurrent struct {
 	mu    sync.Mutex
 	inner Summary
+
+	// Snapshot serving state. serving and maxStale are set once by
+	// ServeSnapshots before concurrent use; version counts mutations
+	// (bumped inside the lock, read without it) so an unchanged summary
+	// is never re-cloned; snap holds the immutable serving view.
+	serving   bool
+	maxStale  time.Duration
+	version   atomic.Uint64
+	snap      atomic.Pointer[snapshotState]
+	refreshes atomic.Int64
+}
+
+// snapshotState is one immutable serving epoch: a deep copy of the inner
+// summary plus the version and time it was taken at. All fields are
+// written before the pointer is published and never after.
+type snapshotState struct {
+	view    Summary
+	version uint64
+	taken   time.Time
 }
 
 // NewConcurrent wraps inner with a mutex.
 func NewConcurrent(inner Summary) *Concurrent {
 	return &Concurrent{inner: inner}
+}
+
+// ServeSnapshots enables snapshot-based reads: Estimate, Query, and N are
+// answered from an immutable deep copy of the inner summary instead of
+// locking it, so readers never block ingest. The snapshot is refreshed on
+// demand with bounded staleness: a read re-clones the summary (one lock
+// acquisition, amortized over the whole window) only when the summary has
+// changed since the snapshot was taken AND the snapshot is older than
+// maxStale. maxStale = 0 means always-fresh: any read that observes a
+// mutation re-clones, which keeps reads exact but makes heavy read
+// traffic clone-bound — production servers should pick a real window
+// (freqd defaults to 100ms).
+//
+// The inner summary must implement Snapshotter (every registry algorithm
+// does); ServeSnapshots panics otherwise. Call it before the wrapper is
+// shared between goroutines, like all configuration. It returns c for
+// chaining.
+func (c *Concurrent) ServeSnapshots(maxStale time.Duration) *Concurrent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.serving = true
+	c.maxStale = maxStale
+	c.snap.Store(&snapshotState{view: mustSnapshot(c.inner), taken: time.Now()})
+	c.refreshes.Add(1)
+	return c
 }
 
 // Name implements Summary.
@@ -27,6 +79,9 @@ func (c *Concurrent) Update(x Item, count int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.inner.Update(x, count)
+	if c.serving {
+		c.version.Add(1)
+	}
 }
 
 // UpdateBatch implements BatchUpdater with a single lock acquisition for
@@ -39,34 +94,154 @@ func (c *Concurrent) UpdateBatch(items []Item) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	UpdateAll(c.inner, items)
+	if c.serving {
+		c.version.Add(1)
+	}
 }
 
-// Estimate implements Summary.
-func (c *Concurrent) Estimate(x Item) int64 {
+// reader returns the summary state reads should be answered from: the
+// serving snapshot (refreshed if it is both dirty and past the staleness
+// bound) when snapshot serving is on, nil when reads must take the lock.
+func (c *Concurrent) reader() Summary {
+	if !c.serving {
+		return nil
+	}
+	s := c.snap.Load()
+	if s.version == c.version.Load() || time.Since(s.taken) <= c.maxStale {
+		return s.view
+	}
+	return c.refresh().view
+}
+
+// refresh takes the ingest lock and publishes a fresh snapshot. If
+// another reader refreshed while we waited for the lock, its snapshot is
+// reused (double-check) so a read storm performs one clone, not one per
+// reader.
+func (c *Concurrent) refresh() *snapshotState {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.inner.Estimate(x)
+	v := c.version.Load()
+	if cur := c.snap.Load(); cur.version == v {
+		return cur
+	}
+	ns := &snapshotState{view: mustSnapshot(c.inner), version: v, taken: time.Now()}
+	c.snap.Store(ns)
+	c.refreshes.Add(1)
+	return ns
 }
 
-// Query implements Summary.
-func (c *Concurrent) Query(threshold int64) []ItemCount {
+// Snapshot implements Snapshotter: it returns an independent deep copy of
+// the inner summary, taken under the ingest lock. It panics when the
+// inner summary does not implement Snapshotter. Unlike the serving reads
+// it always clones fresh state, so callers can checkpoint, serialize, or
+// merge the copy while ingest continues.
+func (c *Concurrent) Snapshot() Summary {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.inner.Query(threshold)
+	return mustSnapshot(c.inner)
 }
 
-// N implements Summary.
-func (c *Concurrent) N() int64 {
+// RefreshSnapshot forces a fresh serving snapshot (regardless of the
+// staleness bound) and returns its view. It is a no-op returning nil when
+// snapshot serving is not enabled. Servers call it to cut over
+// deterministically — e.g. freqd's POST /refresh, or tests asserting
+// exact post-ingest reads.
+func (c *Concurrent) RefreshSnapshot() ReadView {
+	if !c.serving {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ns := &snapshotState{view: mustSnapshot(c.inner), version: c.version.Load(), taken: time.Now()}
+	c.snap.Store(ns)
+	c.refreshes.Add(1)
+	return ns.view
+}
+
+// ServingView returns the current serving epoch as an immutable
+// ReadView (refreshing it first if it is dirty past the staleness
+// bound), or nil when snapshot serving is not enabled. Pin the returned
+// view to make a multi-read sequence internally consistent: each of
+// Estimate/Query/N on the wrapper itself may cross a refresh boundary
+// between calls.
+func (c *Concurrent) ServingView() ReadView {
+	if v := c.reader(); v != nil {
+		return v
+	}
+	return nil
+}
+
+// LiveN returns the ingested stream length of the live summary,
+// bypassing the serving snapshot: one locked integer read, so ops
+// surfaces (freqd /stats) can report the ingest position next to the
+// snapshot's AsOfN without forcing a snapshot refresh.
+func (c *Concurrent) LiveN() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.inner.N()
 }
 
-// Bytes implements Summary.
-func (c *Concurrent) Bytes() int {
+// SnapshotStats reports the serving snapshot's freshness; all zero when
+// serving is not enabled.
+func (c *Concurrent) SnapshotStats() SnapshotStats {
+	if !c.serving {
+		return SnapshotStats{}
+	}
+	s := c.snap.Load()
+	return SnapshotStats{
+		Serving:   true,
+		AsOfN:     s.view.N(),
+		Age:       time.Since(s.taken),
+		Refreshes: c.refreshes.Load(),
+		MaxStale:  c.maxStale,
+	}
+}
+
+// Estimate implements Summary. With snapshot serving enabled it is
+// answered from the serving snapshot (never blocking ingest); otherwise
+// it locks.
+func (c *Concurrent) Estimate(x Item) int64 {
+	if v := c.reader(); v != nil {
+		return v.Estimate(x)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.inner.Bytes()
+	return c.inner.Estimate(x)
+}
+
+// Query implements Summary; see Estimate for the snapshot-serving read
+// path.
+func (c *Concurrent) Query(threshold int64) []ItemCount {
+	if v := c.reader(); v != nil {
+		return v.Query(threshold)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.Query(threshold)
+}
+
+// N implements Summary. With snapshot serving enabled it reports the
+// snapshot's stream length, so thresholds computed as φ·N() are
+// consistent with the state Query answers from.
+func (c *Concurrent) N() int64 {
+	if v := c.reader(); v != nil {
+		return v.N()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.N()
+}
+
+// Bytes implements Summary. With snapshot serving enabled the retained
+// serving view is charged on top of the live summary.
+func (c *Concurrent) Bytes() int {
+	var snapBytes int
+	if c.serving {
+		snapBytes = c.snap.Load().view.Bytes()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.Bytes() + snapBytes
 }
 
 // Sharded partitions updates across s independent summaries by a cheap
@@ -90,6 +265,56 @@ type Sharded struct {
 	// keeps batching's resident cost visible at the usual one-writer
 	// or few-writer scale.
 	scatterBytes atomic.Int64
+
+	// Snapshot serving state, mirroring Concurrent: version counts
+	// completed mutations (bumped atomically after the per-shard flushes,
+	// gated on serving so the non-serving hot path is untouched), snap
+	// holds the immutable per-shard read view, and refreshMu serializes
+	// refreshers without blocking writers on any shard.
+	serving   bool
+	maxStale  time.Duration
+	version   atomic.Uint64
+	snap      atomic.Pointer[shardedSnapshot]
+	refreshMu sync.Mutex
+	refreshes atomic.Int64
+}
+
+// shardedSnapshot is an immutable ReadView of a Sharded summary: one
+// clone per shard, routed by the same item hash, so snapshot reads have
+// exactly the semantics of locked reads (Estimate routes to the item's
+// shard, Query unions the shard reports). Cross-shard cloning is not a
+// single atomic cut — each shard is cloned under its own lock in turn —
+// so the view is per-shard consistent; with item-partitioned shards every
+// per-item answer is still some true point-in-time answer for that item.
+type shardedSnapshot struct {
+	views   []Summary
+	mask    uint64
+	version uint64
+	taken   time.Time
+}
+
+// Estimate implements ReadView by routing to the item's shard view.
+func (v *shardedSnapshot) Estimate(x Item) int64 {
+	return v.views[shardIndex(x, v.mask)].Estimate(x)
+}
+
+// Query implements ReadView as the union of the shard views' reports.
+func (v *shardedSnapshot) Query(threshold int64) []ItemCount {
+	var out []ItemCount
+	for _, view := range v.views {
+		out = append(out, view.Query(threshold)...)
+	}
+	SortByCountDesc(out)
+	return out
+}
+
+// N implements ReadView as the sum of the shard views' totals.
+func (v *shardedSnapshot) N() int64 {
+	var n int64
+	for _, view := range v.views {
+		n += view.N()
+	}
+	return n
 }
 
 // shardScatter is a per-batch scatter buffer: one pending-item slice per
@@ -114,22 +339,46 @@ func NewSharded(shards int, factory func() Summary) *Sharded {
 	return s
 }
 
+// ServeSnapshots enables snapshot-based reads, mirroring
+// Concurrent.ServeSnapshots: Estimate, Query, and N are answered from an
+// immutable set of per-shard clones refreshed at most once per staleness
+// window, so readers never contend with writers on any shard lock. The
+// factory's summaries must implement Snapshotter; panics otherwise. Call
+// before sharing the wrapper between goroutines. Returns s for chaining.
+func (s *Sharded) ServeSnapshots(maxStale time.Duration) *Sharded {
+	s.serving = true
+	s.maxStale = maxStale
+	views := make([]Summary, len(s.shards))
+	for i, sh := range s.shards {
+		views[i] = sh.Snapshot()
+	}
+	s.snap.Store(&shardedSnapshot{views: views, mask: s.mask, taken: time.Now()})
+	s.refreshes.Add(1)
+	return s
+}
+
 // Name implements Summary.
 func (s *Sharded) Name() string { return s.shards[0].Name() + "-sharded" }
 
-func (s *Sharded) shardIndex(x Item) uint64 {
-	// SplitMix64 finalizer spreads low-entropy item spaces across shards.
+// shardIndex spreads low-entropy item spaces across shards with the
+// SplitMix64 finalizer.
+func shardIndex(x Item, mask uint64) uint64 {
 	v := uint64(x)
 	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
 	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
 	v ^= v >> 31
-	return v & s.mask
+	return v & mask
 }
 
-func (s *Sharded) shard(x Item) *Concurrent { return s.shards[s.shardIndex(x)] }
+func (s *Sharded) shard(x Item) *Concurrent { return s.shards[shardIndex(x, s.mask)] }
 
 // Update routes the arrival to its item's shard.
-func (s *Sharded) Update(x Item, count int64) { s.shard(x).Update(x, count) }
+func (s *Sharded) Update(x Item, count int64) {
+	s.shard(x).Update(x, count)
+	if s.serving {
+		s.version.Add(1)
+	}
+}
 
 // UpdateBatch implements BatchUpdater: the batch is scattered into
 // per-shard buffers (paying only the shard hash per item, no locking),
@@ -144,11 +393,14 @@ func (s *Sharded) UpdateBatch(items []Item) {
 	}
 	if len(s.shards) == 1 {
 		s.shards[0].UpdateBatch(items)
+		if s.serving {
+			s.version.Add(1)
+		}
 		return
 	}
 	sc := s.bufs.Get().(*shardScatter)
 	for _, x := range items {
-		i := s.shardIndex(x)
+		i := shardIndex(x, s.mask)
 		sc.perShard[i] = append(sc.perShard[i], x)
 	}
 	var scatterCap int64
@@ -167,13 +419,141 @@ func (s *Sharded) UpdateBatch(items []Item) {
 		}
 	}
 	s.bufs.Put(sc)
+	if s.serving {
+		s.version.Add(1)
+	}
 }
 
-// Estimate queries the item's shard.
-func (s *Sharded) Estimate(x Item) int64 { return s.shard(x).Estimate(x) }
+// reader returns the snapshot view reads are answered from, refreshing it
+// when it is both dirty and past the staleness bound; nil when snapshot
+// serving is off.
+func (s *Sharded) reader() *shardedSnapshot {
+	if !s.serving {
+		return nil
+	}
+	v := s.snap.Load()
+	if v.version == s.version.Load() || time.Since(v.taken) <= s.maxStale {
+		return v
+	}
+	return s.refresh()
+}
 
-// N sums the shard totals.
+// refresh re-clones every shard and publishes the new view. refreshMu
+// serializes refreshers (double-checked, so a read storm clones once)
+// without holding any shard lock across the whole pass: writers are
+// blocked only while their own shard is being cloned. The version is
+// captured before cloning, so writes that land mid-refresh make the new
+// snapshot look dirty rather than hiding behind it.
+func (s *Sharded) refresh() *shardedSnapshot {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	v := s.version.Load()
+	if cur := s.snap.Load(); cur.version == v {
+		return cur
+	}
+	ns := s.cloneShards(v)
+	s.snap.Store(ns)
+	s.refreshes.Add(1)
+	return ns
+}
+
+func (s *Sharded) cloneShards(version uint64) *shardedSnapshot {
+	views := make([]Summary, len(s.shards))
+	for i, sh := range s.shards {
+		views[i] = sh.Snapshot()
+	}
+	return &shardedSnapshot{views: views, mask: s.mask, version: version, taken: time.Now()}
+}
+
+// Snapshot implements Snapshotter by merging per-shard clones into one
+// summary via the Merger machinery: the result is a single independent
+// summary of the whole stream, suitable for serialization or cross-node
+// merging. It requires the factory's summaries to implement Snapshotter
+// and Merger (panics otherwise — the same contract NewSharded's
+// query-by-merge design already assumes). Each shard is cloned under its
+// own lock; ingest on other shards proceeds during the pass.
+func (s *Sharded) Snapshot() Summary {
+	merged := s.shards[0].Snapshot()
+	if len(s.shards) == 1 {
+		return merged
+	}
+	m, ok := merged.(Merger)
+	if !ok {
+		panic("core: Sharded.Snapshot requires a Merger inner summary, " + merged.Name() + " is not")
+	}
+	for _, sh := range s.shards[1:] {
+		if err := m.Merge(sh.Snapshot()); err != nil {
+			panic("core: Sharded.Snapshot merge failed: " + err.Error())
+		}
+	}
+	return merged
+}
+
+// RefreshSnapshot forces a fresh serving view (regardless of staleness)
+// and returns it; it is a no-op returning nil when serving is not
+// enabled. Same contract as Concurrent.RefreshSnapshot.
+func (s *Sharded) RefreshSnapshot() ReadView {
+	if !s.serving {
+		return nil
+	}
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	ns := s.cloneShards(s.version.Load())
+	s.snap.Store(ns)
+	s.refreshes.Add(1)
+	return ns
+}
+
+// ServingView returns the current serving epoch as an immutable
+// ReadView, or nil when snapshot serving is not enabled; see
+// Concurrent.ServingView for why callers pin it.
+func (s *Sharded) ServingView() ReadView {
+	if v := s.reader(); v != nil {
+		return v
+	}
+	return nil
+}
+
+// LiveN sums the shards' live stream lengths, bypassing the serving
+// snapshot; see Concurrent.LiveN.
+func (s *Sharded) LiveN() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.LiveN()
+	}
+	return n
+}
+
+// SnapshotStats reports the serving view's freshness; all zero when
+// serving is not enabled.
+func (s *Sharded) SnapshotStats() SnapshotStats {
+	if !s.serving {
+		return SnapshotStats{}
+	}
+	v := s.snap.Load()
+	return SnapshotStats{
+		Serving:   true,
+		AsOfN:     v.N(),
+		Age:       time.Since(v.taken),
+		Refreshes: s.refreshes.Load(),
+		MaxStale:  s.maxStale,
+	}
+}
+
+// Estimate queries the item's shard — through the serving snapshot when
+// enabled, so it never touches a shard lock.
+func (s *Sharded) Estimate(x Item) int64 {
+	if v := s.reader(); v != nil {
+		return v.Estimate(x)
+	}
+	return s.shard(x).Estimate(x)
+}
+
+// N sums the shard totals (snapshot totals when serving).
 func (s *Sharded) N() int64 {
+	if v := s.reader(); v != nil {
+		return v.N()
+	}
 	var n int64
 	for _, sh := range s.shards {
 		n += sh.N()
@@ -182,8 +562,12 @@ func (s *Sharded) N() int64 {
 }
 
 // Query gathers every shard's report. Because each item lives wholly in
-// one shard, the union is the correct global report.
+// one shard, the union is the correct global report. With serving
+// enabled the union is taken over the immutable shard clones instead.
 func (s *Sharded) Query(threshold int64) []ItemCount {
+	if v := s.reader(); v != nil {
+		return v.Query(threshold)
+	}
 	var out []ItemCount
 	for _, sh := range s.shards {
 		out = append(out, sh.Query(threshold)...)
@@ -194,11 +578,16 @@ func (s *Sharded) Query(threshold int64) []ItemCount {
 
 // Bytes sums the shard footprints plus the retained scatter scratch
 // (the high-water mark of one scatter-buffer set; see scatterBytes for
-// the estimate's limits).
+// the estimate's limits) and, when serving, the retained snapshot views.
 func (s *Sharded) Bytes() int {
 	total := int(s.scatterBytes.Load())
 	for _, sh := range s.shards {
 		total += sh.Bytes()
+	}
+	if s.serving {
+		for _, view := range s.snap.Load().views {
+			total += view.Bytes()
+		}
 	}
 	return total
 }

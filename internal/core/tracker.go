@@ -123,6 +123,30 @@ func (t *Tracked) UpdateBatch(items []Item) {
 // Estimate returns the sketch's point estimate.
 func (t *Tracked) Estimate(x Item) int64 { return t.inner.Estimate(x) }
 
+// Clone returns an independent deep copy: the inner sketch is cloned via
+// its own Snapshotter implementation and the heap entries are copied at
+// their positions. The batch dedup scratch is not copied — a clone
+// starts with fresh (empty) scratch, which is state the summary's
+// observable behaviour never depends on.
+func (t *Tracked) Clone() *Tracked {
+	nt := &Tracked{
+		inner:    mustSnapshot(t.inner),
+		capacity: t.capacity,
+		index:    make(map[Item]*tkEntry, len(t.index)),
+		heap:     make(tkHeap, len(t.heap)),
+	}
+	for i, e := range t.heap {
+		ne := &tkEntry{item: e.item, est: e.est, idx: e.idx}
+		nt.heap[i] = ne
+		nt.index[ne.item] = ne
+	}
+	return nt
+}
+
+// Snapshot implements Snapshotter. It panics when the inner sketch does
+// not implement Snapshotter itself.
+func (t *Tracked) Snapshot() Summary { return t.Clone() }
+
 // Query re-estimates every tracked item against the current sketch state
 // and returns those at or above threshold, descending.
 func (t *Tracked) Query(threshold int64) []ItemCount {

@@ -151,6 +151,30 @@ func (f *Frequent) Query(threshold int64) []core.ItemCount {
 	return out
 }
 
+// Clone returns an independent deep copy: entries are duplicated at
+// their heap positions and the index rebuilt over the copies. The batch
+// pre-aggregation scratch is not copied (a clone starts with fresh
+// scratch; it is invisible to queries).
+func (f *Frequent) Clone() *Frequent {
+	nf := &Frequent{
+		k:      f.k,
+		offset: f.offset,
+		n:      f.n,
+		decs:   f.decs,
+		index:  make(map[core.Item]*entry, len(f.index)),
+		heap:   make(minHeap, len(f.heap)),
+	}
+	for i, e := range f.heap {
+		ne := &entry{item: e.item, count: e.count, err: e.err, idx: e.idx}
+		nf.heap[i] = ne
+		nf.index[ne.item] = ne
+	}
+	return nf
+}
+
+// Snapshot implements core.Snapshotter.
+func (f *Frequent) Snapshot() core.Summary { return f.Clone() }
+
 // Entries returns all tracked (item, estimate) pairs in descending order.
 func (f *Frequent) Entries() []core.ItemCount {
 	out := make([]core.ItemCount, 0, len(f.heap))

@@ -105,5 +105,17 @@ func (f *FrequentNaive) Entries() []core.ItemCount {
 	return out
 }
 
+// Clone returns an independent deep copy.
+func (f *FrequentNaive) Clone() *FrequentNaive {
+	nf := &FrequentNaive{k: f.k, n: f.n, decs: f.decs, counts: make(map[core.Item]int64, len(f.counts))}
+	for it, c := range f.counts {
+		nf.counts[it] = c
+	}
+	return nf
+}
+
+// Snapshot implements core.Snapshotter.
+func (f *FrequentNaive) Snapshot() core.Summary { return f.Clone() }
+
 // Bytes implements core.Summary.
 func (f *FrequentNaive) Bytes() int { return entryBytes * f.k }

@@ -137,6 +137,29 @@ func (s *FilteredSpaceSaving) Query(threshold int64) []core.ItemCount {
 // Entries returns all monitored (item, estimate) pairs, descending.
 func (s *FilteredSpaceSaving) Entries() []core.ItemCount { return s.Query(0) }
 
+// Clone returns an independent deep copy: the filter array and monitored
+// entries are duplicated; the filter's hash function is shared (immutable
+// after construction).
+func (s *FilteredSpaceSaving) Clone() *FilteredSpaceSaving {
+	ns := &FilteredSpaceSaving{
+		k:      s.k,
+		filter: append([]int64(nil), s.filter...),
+		cells:  s.cells,
+		n:      s.n,
+		index:  make(map[core.Item]*entry, len(s.index)),
+		heap:   make(minHeap, len(s.heap)),
+	}
+	for i, e := range s.heap {
+		ne := &entry{item: e.item, count: e.count, err: e.err, idx: e.idx}
+		ns.heap[i] = ne
+		ns.index[ne.item] = ne
+	}
+	return ns
+}
+
+// Snapshot implements core.Snapshotter.
+func (s *FilteredSpaceSaving) Snapshot() core.Summary { return s.Clone() }
+
 // Bytes counts the monitored entries plus the filter array.
 func (s *FilteredSpaceSaving) Bytes() int {
 	return entryBytes*s.k + 8*len(s.filter)

@@ -143,6 +143,26 @@ func (l *LossyCounting) Query(threshold int64) []core.ItemCount {
 	return out
 }
 
+// Clone returns an independent deep copy (entries duplicated, parameters
+// and bucket position shared by value).
+func (l *LossyCounting) Clone() *LossyCounting {
+	nl := &LossyCounting{
+		epsilon: l.epsilon,
+		width:   l.width,
+		bucket:  l.bucket,
+		n:       l.n,
+		variant: l.variant,
+		index:   make(map[core.Item]*lcEntry, len(l.index)),
+	}
+	for it, e := range l.index {
+		nl.index[it] = &lcEntry{count: e.count, delta: e.delta}
+	}
+	return nl
+}
+
+// Snapshot implements core.Snapshotter.
+func (l *LossyCounting) Snapshot() core.Summary { return l.Clone() }
+
 // Bytes charges the live entries at the common accounting rate. LC's
 // footprint floats with the data distribution; Bytes reports the current
 // footprint, and the harness additionally records the high-water mark.

@@ -136,6 +136,27 @@ func (s *SpaceSavingHeap) Query(threshold int64) []core.ItemCount {
 	return out
 }
 
+// Clone returns an independent deep copy: entries are duplicated at
+// their heap positions and the index rebuilt over the copies; the batch
+// pre-aggregation scratch starts fresh.
+func (s *SpaceSavingHeap) Clone() *SpaceSavingHeap {
+	ns := &SpaceSavingHeap{
+		k:     s.k,
+		n:     s.n,
+		index: make(map[core.Item]*entry, len(s.index)),
+		heap:  make(minHeap, len(s.heap)),
+	}
+	for i, e := range s.heap {
+		ne := &entry{item: e.item, count: e.count, err: e.err, idx: e.idx}
+		ns.heap[i] = ne
+		ns.index[ne.item] = ne
+	}
+	return ns
+}
+
+// Snapshot implements core.Snapshotter.
+func (s *SpaceSavingHeap) Snapshot() core.Summary { return s.Clone() }
+
 // Entries returns all tracked (item, estimate) pairs in descending order.
 func (s *SpaceSavingHeap) Entries() []core.ItemCount {
 	out := make([]core.ItemCount, 0, len(s.heap))

@@ -106,5 +106,31 @@ func (s *StickySampling) Query(threshold int64) []core.ItemCount {
 	return out
 }
 
+// Clone returns an independent deep copy, including the sampling PRNG
+// state: a clone and its parent fed the same suffix make identical
+// sampling decisions, which is what makes snapshot fidelity testable for
+// this randomized summary.
+func (s *StickySampling) Clone() *StickySampling {
+	rng := *s.rng
+	ns := &StickySampling{
+		epsilon: s.epsilon,
+		delta:   s.delta,
+		support: s.support,
+		t:       s.t,
+		rate:    s.rate,
+		limit:   s.limit,
+		n:       s.n,
+		rng:     &rng,
+		index:   make(map[core.Item]int64, len(s.index)),
+	}
+	for it, c := range s.index {
+		ns.index[it] = c
+	}
+	return ns
+}
+
+// Snapshot implements core.Snapshotter.
+func (s *StickySampling) Snapshot() core.Summary { return s.Clone() }
+
 // Bytes implements core.Summary.
 func (s *StickySampling) Bytes() int { return entryBytes * len(s.index) }

@@ -227,6 +227,44 @@ func (s *SpaceSavingList) Entries() []core.ItemCount {
 	return s.Query(0)
 }
 
+// Clone returns an independent deep copy, rebuilding the Stream-Summary
+// bucket list in order and preserving within-bucket entry order, so the
+// clone is structurally identical (validate-clean) and answers every
+// query exactly as the parent does at the moment of the clone.
+func (s *SpaceSavingList) Clone() *SpaceSavingList {
+	ns := &SpaceSavingList{
+		k:     s.k,
+		size:  s.size,
+		n:     s.n,
+		index: make(map[core.Item]*ssEntry, len(s.index)),
+	}
+	var prevB *ssBucket
+	for b := s.min; b != nil; b = b.next {
+		nb := &ssBucket{count: b.count, prev: prevB}
+		if prevB != nil {
+			prevB.next = nb
+		} else {
+			ns.min = nb
+		}
+		var prevE *ssEntry
+		for e := b.head; e != nil; e = e.next {
+			ne := &ssEntry{item: e.item, err: e.err, bucket: nb, prev: prevE}
+			if prevE != nil {
+				prevE.next = ne
+			} else {
+				nb.head = ne
+			}
+			ns.index[ne.item] = ne
+			prevE = ne
+		}
+		prevB = nb
+	}
+	return ns
+}
+
+// Snapshot implements core.Snapshotter.
+func (s *SpaceSavingList) Snapshot() core.Summary { return s.Clone() }
+
 // Bytes accounts the entry payload plus the two extra pointers per entry
 // and the bucket nodes (charged one per entry, the worst case); after
 // batched ingest it includes the retained pre-aggregation scratch.

@@ -78,6 +78,18 @@ func (c *Counter) Bytes() int {
 	return 2 * entry * len(c.counts)
 }
 
+// Clone returns an independent deep copy.
+func (c *Counter) Clone() *Counter {
+	nc := &Counter{n: c.n, counts: make(map[core.Item]int64, len(c.counts))}
+	for it, ct := range c.counts {
+		nc.counts[it] = ct
+	}
+	return nc
+}
+
+// Snapshot implements core.Snapshotter.
+func (c *Counter) Snapshot() core.Summary { return c.Clone() }
+
 // Merge adds another exact counter into this one.
 func (c *Counter) Merge(other core.Summary) error {
 	o, ok := other.(*Counter)

@@ -1,0 +1,436 @@
+// Package serve implements the freqd HTTP serving layer: continuous
+// stream ingest and frequent-items queries over one summary, wired so
+// the two workloads never fight — ingest goes through the batched
+// UpdateBatch path (one lock per batch), queries are answered from the
+// wrapper's epoch snapshots (never taking the ingest lock; see
+// core.Snapshotter and Concurrent.ServeSnapshots).
+//
+// Endpoints:
+//
+//	POST /ingest    body = items; Content-Type selects the decoder:
+//	                  application/octet-stream  bare little-endian uint64s
+//	                  text/plain                whitespace-separated tokens
+//	                                            (hashed via core.HashString)
+//	                  application/x-sfstream    an SFSTRM01 stream file
+//	GET  /topk      ?phi=0.001 (threshold φ·N) or ?threshold=123; &k= caps
+//	GET  /estimate  ?item=123 | ?item=0x7b | ?token=foo
+//	GET  /stats     stream length, footprint, snapshot age, traffic meters
+//	POST /refresh   force a fresh serving snapshot (deterministic cutover)
+//
+// The package is the testable core of cmd/freqd: the command adds flags,
+// listening, and signals around NewServer/Handler.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"streamfreq/internal/core"
+	"streamfreq/internal/metrics"
+	"streamfreq/internal/stream"
+)
+
+// Target is what the server serves: a summary that is safe for
+// concurrent use and ingests batches. core.Concurrent and core.Sharded
+// (with ServeSnapshots enabled for lock-free reads) are the intended
+// implementations.
+type Target interface {
+	core.Summary
+	core.BatchUpdater
+}
+
+// snapshotServer is the optional snapshot-control surface of the
+// concurrency wrappers; /stats and /refresh use it when present.
+type snapshotServer interface {
+	SnapshotStats() core.SnapshotStats
+	RefreshSnapshot() core.ReadView
+}
+
+// viewServer is the optional pinned-epoch read surface of the
+// concurrency wrappers. Query handlers pin one view per request so the
+// n/threshold/report triple is internally consistent — issuing N and
+// Query as separate wrapper calls could straddle a snapshot refresh.
+type viewServer interface {
+	ServingView() core.ReadView
+}
+
+// view returns the read state for one request: the target's current
+// serving epoch when it has one, else the target itself (any Summary
+// satisfies ReadView; without snapshot serving, reads lock per call and
+// the request is only as consistent as interleaved writers allow, which
+// is the pre-snapshot behaviour).
+func (s *Server) view() core.ReadView {
+	if vs, ok := s.target.(viewServer); ok {
+		if v := vs.ServingView(); v != nil {
+			return v
+		}
+	}
+	return s.target
+}
+
+// Options configures a Server.
+type Options struct {
+	// Target is the serving summary (required).
+	Target Target
+	// Algo is the algorithm label reported by /stats (defaults to
+	// Target.Name()).
+	Algo string
+	// IngestBatch is the ingest batch length (defaults to
+	// core.DefaultBatchSize).
+	IngestBatch int
+	// MaxIngestBytes bounds one /ingest request body (defaults to 64 MiB).
+	MaxIngestBytes int64
+	// MaxTokenNames caps the item→token spelling table text ingest
+	// accumulates for /topk labels (defaults to 65536). The summaries are
+	// O(counters) however long the stream runs; the label table must be
+	// bounded too, so tokens first seen after the cap go unlabeled —
+	// heavy hitters are overwhelmingly already present by then.
+	MaxTokenNames int
+}
+
+// Server is the freqd HTTP serving state: the target summary, the token
+// spelling table for text ingest, and traffic meters.
+type Server struct {
+	target   Target
+	algo     string
+	batch    int
+	maxIn    int64
+	maxNames int
+	meter    *metrics.Meter
+	start    time.Time
+
+	// names maps hashed items back to token spellings for text-mode
+	// streams, so /topk can label its report. Each text ingest builds a
+	// private map (inside its TokenSource) and mergeNames folds it in
+	// under mu.
+	mu    sync.Mutex
+	names map[core.Item]string
+}
+
+// NewServer returns a Server over opts.Target.
+func NewServer(opts Options) *Server {
+	if opts.Target == nil {
+		panic("serve: Options.Target is required")
+	}
+	if opts.Algo == "" {
+		opts.Algo = opts.Target.Name()
+	}
+	if opts.IngestBatch <= 0 {
+		opts.IngestBatch = core.DefaultBatchSize
+	}
+	if opts.MaxIngestBytes <= 0 {
+		opts.MaxIngestBytes = 64 << 20
+	}
+	if opts.MaxTokenNames <= 0 {
+		opts.MaxTokenNames = 1 << 16
+	}
+	return &Server{
+		target:   opts.Target,
+		algo:     opts.Algo,
+		batch:    opts.IngestBatch,
+		maxIn:    opts.MaxIngestBytes,
+		maxNames: opts.MaxTokenNames,
+		meter:    metrics.NewMeter(),
+		start:    time.Now(),
+		names:    make(map[core.Item]string),
+	}
+}
+
+// Handler returns the HTTP API mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/topk", s.handleTopK)
+	mux.HandleFunc("/estimate", s.handleEstimate)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/refresh", s.handleRefresh)
+	return mux
+}
+
+// writeJSON renders v; encoding failures are programming errors surfaced
+// as 500s.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) mergeNames(names map[core.Item]string) {
+	if len(names) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for it, tok := range names {
+		if len(s.names) >= s.maxNames {
+			break // label table is full; new tokens go unlabeled
+		}
+		if _, ok := s.names[it]; !ok {
+			s.names[it] = tok
+		}
+	}
+}
+
+func (s *Server) lookupName(it core.Item) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.names[it]
+}
+
+// handleIngest streams the request body into the summary in bounded
+// batches through the target's UpdateBatch path.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.maxIn)
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	var (
+		src   stream.BatchSource
+		errAt func() error
+	)
+	// Media types are case-insensitive (RFC 7231 §3.1.1.1).
+	switch strings.ToLower(strings.TrimSpace(ct)) {
+	case "text/plain":
+		// Capture at most the server's label budget per request, so one
+		// high-cardinality body cannot allocate past it transiently.
+		ts := stream.NewTokenSource(body, s.maxNames)
+		src, errAt = ts, ts.Err
+		defer func() { s.mergeNames(ts.Names()) }()
+	case "application/x-sfstream":
+		sr, err := stream.NewReader(body)
+		if err != nil {
+			s.meter.Add("ingest.rejected", 1)
+			httpError(w, http.StatusBadRequest, "bad stream file: %v", err)
+			return
+		}
+		src, errAt = sr, sr.Err
+	case "", "application/octet-stream":
+		rs := stream.NewRawSource(body)
+		src, errAt = rs, rs.Err
+	default:
+		s.meter.Add("ingest.rejected", 1)
+		httpError(w, http.StatusUnsupportedMediaType, "unsupported Content-Type %q", ct)
+		return
+	}
+
+	buf := make([]core.Item, s.batch)
+	var ingested int64
+	for {
+		n := src.NextBatch(buf)
+		if n == 0 {
+			break
+		}
+		s.target.UpdateBatch(buf[:n])
+		ingested += int64(n)
+	}
+	s.meter.Add("ingest.requests", 1)
+	s.meter.Add("ingest.items", ingested)
+	if err := errAt(); err != nil {
+		// Items decoded before the failure are already ingested (the
+		// stream model has no transactions); report both facts. A body
+		// over the size cap is the client's to fix by chunking — signal
+		// it as 413, distinct from genuinely torn data.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"body exceeds %d-byte ingest limit (ingested %d items); split into smaller requests", tooBig.Limit, ingested)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "body truncated or corrupt after %d items: %v", ingested, err)
+		return
+	}
+	// Ack with the live cumulative ingest total (free, from the meter):
+	// target.N() would report the snapshot-lagged serving position — and
+	// could charge a snapshot refresh to the write path to compute it.
+	writeJSON(w, http.StatusOK, map[string]int64{
+		"ingested": ingested,
+		"n":        s.meter.Get("ingest.items"),
+	})
+}
+
+// reportedItem is one /topk row.
+type reportedItem struct {
+	Item  uint64 `json:"item"`
+	Count int64  `json:"count"`
+	Token string `json:"token,omitempty"`
+}
+
+// handleTopK answers a threshold query against one pinned snapshot
+// epoch, so the n, threshold, and report of a response all describe the
+// same state.
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	q := r.URL.Query()
+	view := s.view()
+	n := view.N()
+	var threshold int64
+	switch {
+	case q.Get("threshold") != "":
+		t, err := strconv.ParseInt(q.Get("threshold"), 10, 64)
+		if err != nil || t < 1 {
+			httpError(w, http.StatusBadRequest, "threshold must be a positive integer")
+			return
+		}
+		threshold = t
+	default:
+		phiStr := q.Get("phi")
+		if phiStr == "" {
+			phiStr = "0.01"
+		}
+		phi, err := strconv.ParseFloat(phiStr, 64)
+		if err != nil || phi <= 0 || phi >= 1 {
+			httpError(w, http.StatusBadRequest, "phi must be in (0,1)")
+			return
+		}
+		threshold = int64(phi * float64(n))
+		if threshold < 1 {
+			threshold = 1
+		}
+	}
+	report := view.Query(threshold)
+	if kStr := q.Get("k"); kStr != "" {
+		k, err := strconv.Atoi(kStr)
+		if err != nil || k < 0 {
+			httpError(w, http.StatusBadRequest, "k must be a non-negative integer")
+			return
+		}
+		if k < len(report) {
+			report = report[:k]
+		}
+	}
+	items := make([]reportedItem, len(report))
+	for i, ic := range report {
+		items[i] = reportedItem{Item: uint64(ic.Item), Count: ic.Count, Token: s.lookupName(ic.Item)}
+	}
+	s.meter.Add("queries.topk", 1)
+	writeJSON(w, http.StatusOK, map[string]any{"n": n, "threshold": threshold, "items": items})
+}
+
+// parseItem accepts decimal or 0x-prefixed hex item identifiers.
+func parseItem(s string) (core.Item, error) {
+	base := 10
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		s, base = s[2:], 16
+	}
+	v, err := strconv.ParseUint(s, base, 64)
+	return core.Item(v), err
+}
+
+// handleEstimate answers a point query from the serving snapshot.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	q := r.URL.Query()
+	var it core.Item
+	switch {
+	case q.Get("item") != "":
+		v, err := parseItem(q.Get("item"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "item must be a decimal or 0x-hex uint64")
+			return
+		}
+		it = v
+	case q.Get("token") != "":
+		it = core.HashString(q.Get("token"))
+	default:
+		httpError(w, http.StatusBadRequest, "item or token parameter required")
+		return
+	}
+	s.meter.Add("queries.estimate", 1)
+	writeJSON(w, http.StatusOK, map[string]any{"item": uint64(it), "estimate": s.view().Estimate(it)})
+}
+
+// handleStats reports serving state: the summary's vitals, snapshot
+// freshness, and traffic meters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	// Report the live ingest position (one locked integer read) so the
+	// ingest/serving lag is observable next to snapshot.as_of_n; the
+	// snapshot read path would make the two always equal.
+	n := s.target.N()
+	if ln, ok := s.target.(interface{ LiveN() int64 }); ok {
+		n = ln.LiveN()
+	}
+	resp := map[string]any{
+		"algo":      s.algo,
+		"summary":   s.target.Name(),
+		"n":         n,
+		"bytes":     s.target.Bytes(),
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+		"counters":  s.meter.Snapshot(),
+	}
+	if ss, ok := s.target.(snapshotServer); ok {
+		st := ss.SnapshotStats()
+		resp["snapshot"] = map[string]any{
+			"serving":      st.Serving,
+			"as_of_n":      st.AsOfN,
+			"age_ms":       st.Age.Milliseconds(),
+			"refreshes":    st.Refreshes,
+			"max_stale_ms": st.MaxStale.Milliseconds(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRefresh forces a fresh serving snapshot, so operators (and
+// tests) can cut over deterministically instead of waiting out the
+// staleness bound.
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	ss, ok := s.target.(snapshotServer)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, "target has no snapshot serving")
+		return
+	}
+	view := ss.RefreshSnapshot()
+	if view == nil {
+		httpError(w, http.StatusNotImplemented, "snapshot serving is not enabled on the target")
+		return
+	}
+	s.meter.Add("snapshot.forced", 1)
+	writeJSON(w, http.StatusOK, map[string]int64{"n": view.N()})
+}
+
+// ListenAndServe serves the API on addr until stop is closed (or a
+// listener error), then drains in-flight requests: the graceful-shutdown
+// half of cmd/freqd, factored here so tests can drive it.
+func (s *Server) ListenAndServe(addr string, stop <-chan struct{}) error {
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-stop:
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+}

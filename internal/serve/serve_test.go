@@ -1,0 +1,327 @@
+package serve_test
+
+// End-to-end coverage for the freqd serving layer: a real HTTP server on
+// a loopback port, a Zipf stream ingested over the wire (concurrently,
+// in binary batches), and /topk scored against internal/exact at the φn
+// operating point — recall must be perfect (Space-Saving never
+// underestimates) and every reported item's true count must clear the
+// threshold minus the summary's n/k error bound.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"streamfreq"
+	"streamfreq/internal/core"
+	"streamfreq/internal/exact"
+	"streamfreq/internal/metrics"
+	"streamfreq/internal/serve"
+	"streamfreq/internal/stream"
+	"streamfreq/internal/zipf"
+)
+
+type topkResponse struct {
+	N         int64 `json:"n"`
+	Threshold int64 `json:"threshold"`
+	Items     []struct {
+		Item  uint64 `json:"item"`
+		Count int64  `json:"count"`
+		Token string `json:"token"`
+	} `json:"items"`
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decoding: %v", url, err)
+	}
+}
+
+func post(t *testing.T, url, contentType string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func postOK(t *testing.T, url, contentType string, body []byte) {
+	t.Helper()
+	resp := post(t, url, contentType, body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST %s: %s: %s", url, resp.Status, b)
+	}
+}
+
+func TestFreqdEndToEnd(t *testing.T) {
+	const (
+		phi     = 0.001
+		seed    = 1
+		streamN = 200_000
+	)
+	target := core.NewConcurrent(streamfreq.MustNew("SSH", phi, seed)).
+		ServeSnapshots(5 * time.Millisecond)
+	srv := serve.NewServer(serve.Options{Target: target, Algo: "SSH"})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	g, err := zipf.NewGenerator(1<<16, 1.1, 0xFEED, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := g.Stream(streamN)
+
+	// Concurrent binary ingest over the wire, in chunks, while queries
+	// run against whatever snapshot is being served.
+	const chunks = 16
+	var wg sync.WaitGroup
+	share := (len(items) + chunks - 1) / chunks
+	for w := 0; w < 2; w++ { // two concurrent clients
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for c := w; c < chunks; c += 2 {
+				lo := min(c*share, len(items))
+				hi := min(lo+share, len(items))
+				if lo >= hi {
+					continue
+				}
+				body := stream.AppendRaw(nil, items[lo:hi])
+				postOK(t, ts.URL+"/ingest", "application/octet-stream", body)
+				// Interleave reads with ingest: they must never error,
+				// whatever snapshot epoch they land on.
+				var tr topkResponse
+				getJSON(t, ts.URL+fmt.Sprintf("/topk?phi=%g", phi), &tr)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Deterministic cutover, then score the report against exact truth.
+	postOK(t, ts.URL+"/refresh", "application/json", nil)
+
+	var tr topkResponse
+	getJSON(t, ts.URL+fmt.Sprintf("/topk?phi=%g", phi), &tr)
+	if tr.N != streamN {
+		t.Fatalf("/topk n = %d, want %d", tr.N, streamN)
+	}
+	threshold := int64(phi * float64(streamN))
+	if tr.Threshold != threshold {
+		t.Fatalf("/topk threshold = %d, want %d", tr.Threshold, threshold)
+	}
+
+	truth := exact.New()
+	for _, it := range items {
+		truth.Update(it, 1)
+	}
+	truthMap := metrics.TruthMap(truth.TopK(truth.Distinct()), threshold)
+	report := make([]core.ItemCount, len(tr.Items))
+	for i, it := range tr.Items {
+		report[i] = core.ItemCount{Item: core.Item(it.Item), Count: it.Count}
+	}
+	acc := metrics.Evaluate(report, truthMap)
+	if acc.Recall != 1 {
+		t.Fatalf("recall at φn = %v, want perfect (report %d items, truth %d): %s",
+			acc.Recall, len(report), len(truthMap), acc)
+	}
+	// Precision bound: SSH overestimates by at most n/k, so every
+	// reported item's true count is at least threshold − n/k.
+	k := int(1/phi) + 1
+	floor := threshold - int64(streamN/k)
+	for _, ic := range report {
+		if truth.Estimate(ic.Item) < floor {
+			t.Fatalf("reported item %d has true count %d < support floor %d",
+				ic.Item, truth.Estimate(ic.Item), floor)
+		}
+	}
+
+	// Point estimates: SSH never underestimates a tracked heavy item.
+	top := truth.TopK(5)
+	for _, ic := range top {
+		var er struct {
+			Item     uint64 `json:"item"`
+			Estimate int64  `json:"estimate"`
+		}
+		getJSON(t, ts.URL+fmt.Sprintf("/estimate?item=%d", uint64(ic.Item)), &er)
+		if er.Estimate < ic.Count {
+			t.Fatalf("/estimate item %d = %d, below true count %d", ic.Item, er.Estimate, ic.Count)
+		}
+	}
+
+	// /stats must reflect the full stream and an enabled serving snapshot.
+	var st struct {
+		Algo     string           `json:"algo"`
+		N        int64            `json:"n"`
+		Bytes    int              `json:"bytes"`
+		Counters map[string]int64 `json:"counters"`
+		Snapshot struct {
+			Serving   bool  `json:"serving"`
+			AsOfN     int64 `json:"as_of_n"`
+			AgeMs     int64 `json:"age_ms"`
+			Refreshes int64 `json:"refreshes"`
+		} `json:"snapshot"`
+	}
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Algo != "SSH" || st.N != streamN || st.Bytes <= 0 {
+		t.Fatalf("/stats = %+v, want SSH summary over %d items", st, streamN)
+	}
+	if !st.Snapshot.Serving || st.Snapshot.AsOfN != streamN || st.Snapshot.Refreshes < 1 {
+		t.Fatalf("/stats snapshot = %+v, want serving view of the full stream", st.Snapshot)
+	}
+	if st.Counters["ingest.items"] != streamN || st.Counters["queries.topk"] < chunks {
+		t.Fatalf("/stats counters = %v, want %d ingested items and ≥%d topk queries",
+			st.Counters, streamN, chunks)
+	}
+}
+
+// TestFreqdTextIngest drives the text ingest path end to end: tokens in,
+// token-labeled report out.
+func TestFreqdTextIngest(t *testing.T) {
+	target := core.NewConcurrent(streamfreq.MustNew("SSH", 0.01, 1)).ServeSnapshots(0)
+	srv := serve.NewServer(serve.Options{Target: target})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	text := strings.Repeat("alpha beta alpha gamma alpha beta\n", 50)
+	postOK(t, ts.URL+"/ingest", "text/plain", []byte(text))
+	// Media types are case-insensitive; a capitalized variant must land
+	// on the same decoder (3 more alphas below).
+	postOK(t, ts.URL+"/ingest", "Text/Plain; charset=utf-8", []byte("alpha alpha alpha"))
+
+	var er struct {
+		Estimate int64 `json:"estimate"`
+	}
+	getJSON(t, ts.URL+"/estimate?token=alpha", &er)
+	if er.Estimate != 153 {
+		t.Fatalf("estimate(alpha) = %d, want 153", er.Estimate)
+	}
+
+	var tr topkResponse
+	getJSON(t, ts.URL+"/topk?phi=0.2", &tr)
+	if len(tr.Items) == 0 || tr.Items[0].Token != "alpha" || tr.Items[0].Count != 153 {
+		t.Fatalf("/topk = %+v, want alpha×153 first", tr.Items)
+	}
+}
+
+// TestFreqdStreamFileIngest posts an SFSTRM01 stream file body.
+func TestFreqdStreamFileIngest(t *testing.T) {
+	target := core.NewConcurrent(exact.New()).ServeSnapshots(0)
+	srv := serve.NewServer(serve.Options{Target: target})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	items := []core.Item{7, 7, 7, 9, 9, 42}
+	var buf bytes.Buffer
+	if err := stream.Write(&buf, "e2e", items); err != nil {
+		t.Fatal(err)
+	}
+	postOK(t, ts.URL+"/ingest", "application/x-sfstream", buf.Bytes())
+
+	var er struct {
+		Estimate int64 `json:"estimate"`
+	}
+	getJSON(t, ts.URL+"/estimate?item=7", &er)
+	if er.Estimate != 3 {
+		t.Fatalf("estimate(7) = %d, want 3", er.Estimate)
+	}
+	getJSON(t, ts.URL+"/estimate?item=0x2a", &er)
+	if er.Estimate != 1 {
+		t.Fatalf("estimate(0x2a) = %d, want 1", er.Estimate)
+	}
+}
+
+// TestFreqdErrorPaths is the table of wire-level rejections: every bad
+// request must come back as a 4xx with a JSON error, never a 500 or a
+// hang, and must not corrupt the summary.
+func TestFreqdErrorPaths(t *testing.T) {
+	target := core.NewConcurrent(exact.New()).ServeSnapshots(0)
+	srv := serve.NewServer(serve.Options{Target: target, MaxIngestBytes: 1 << 10})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name, method, path, contentType string
+		body                            []byte
+		wantStatus                      int
+	}{
+		{"ingest GET", http.MethodGet, "/ingest", "", nil, http.StatusMethodNotAllowed},
+		{"ingest bad content type", http.MethodPost, "/ingest", "application/json", []byte("{}"), http.StatusUnsupportedMediaType},
+		{"ingest torn binary item", http.MethodPost, "/ingest", "application/octet-stream", []byte{1, 2, 3}, http.StatusBadRequest},
+		{"ingest bad stream file", http.MethodPost, "/ingest", "application/x-sfstream", []byte("NOTASTREAM"), http.StatusBadRequest},
+		{"ingest oversized body", http.MethodPost, "/ingest", "application/octet-stream", make([]byte, 1<<11), http.StatusRequestEntityTooLarge},
+		{"topk POST", http.MethodPost, "/topk", "", nil, http.StatusMethodNotAllowed},
+		{"topk bad phi", http.MethodGet, "/topk?phi=2", "", nil, http.StatusBadRequest},
+		{"topk bad threshold", http.MethodGet, "/topk?threshold=-1", "", nil, http.StatusBadRequest},
+		{"topk bad k", http.MethodGet, "/topk?phi=0.1&k=-2", "", nil, http.StatusBadRequest},
+		{"estimate no arg", http.MethodGet, "/estimate", "", nil, http.StatusBadRequest},
+		{"estimate bad item", http.MethodGet, "/estimate?item=zzz", "", nil, http.StatusBadRequest},
+		{"stats POST", http.MethodPost, "/stats", "", nil, http.StatusMethodNotAllowed},
+		{"refresh GET", http.MethodGet, "/refresh", "", nil, http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, bytes.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.contentType != "" {
+				req.Header.Set("Content-Type", tc.contentType)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				b, _ := io.ReadAll(resp.Body)
+				t.Fatalf("%s %s: status %d, want %d (%s)", tc.method, tc.path, resp.StatusCode, tc.wantStatus, b)
+			}
+			var errBody struct {
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&errBody); err != nil || errBody.Error == "" {
+				t.Fatalf("%s %s: error body not JSON with error field (%v)", tc.method, tc.path, err)
+			}
+		})
+	}
+}
+
+// TestFreqdGracefulShutdown exercises the ListenAndServe stop path the
+// daemon's signal handler drives.
+func TestFreqdGracefulShutdown(t *testing.T) {
+	target := core.NewConcurrent(exact.New()).ServeSnapshots(0)
+	srv := serve.NewServer(serve.Options{Target: target})
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe("127.0.0.1:0", stop) }()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

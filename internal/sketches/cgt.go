@@ -169,6 +169,17 @@ func (c *CGT) Bytes() int {
 	return 8*len(c.cells) + 16*c.depth
 }
 
+// Clone returns an independent deep copy of the cell array; the hash
+// family is shared (immutable after construction).
+func (c *CGT) Clone() *CGT {
+	nc := *c
+	nc.cells = append([]int64(nil), c.cells...)
+	return &nc
+}
+
+// Snapshot implements core.Snapshotter.
+func (c *CGT) Snapshot() core.Summary { return c.Clone() }
+
 // Merge adds another CGT sketch built with identical parameters.
 func (c *CGT) Merge(other core.Summary) error {
 	o, ok := other.(*CGT)

@@ -211,6 +211,30 @@ func (c *CountMin) estimateMedian(x core.Item) int64 {
 // flat sketches.
 func (c *CountMin) Query(threshold int64) []core.ItemCount { return nil }
 
+// Clone returns an independent deep copy of the counter array. The hash
+// family is shared: it is immutable after construction, so parent and
+// clone index identical bucket layouts at no copying cost.
+func (c *CountMin) Clone() *CountMin {
+	nc := &CountMin{
+		family:       c.family,
+		width:        c.width,
+		depth:        c.depth,
+		n:            c.n,
+		neg:          c.neg,
+		conservative: c.conservative,
+	}
+	backing := make([]int64, c.depth*c.width)
+	nc.rows = make([][]int64, c.depth)
+	for i := range nc.rows {
+		nc.rows[i], backing = backing[:c.width:c.width], backing[c.width:]
+		copy(nc.rows[i], c.rows[i])
+	}
+	return nc
+}
+
+// Snapshot implements core.Snapshotter.
+func (c *CountMin) Snapshot() core.Summary { return c.Clone() }
+
 // Bytes implements core.Summary.
 func (c *CountMin) Bytes() int {
 	return 8*c.depth*c.width + 16*c.depth // counters + per-row hash seeds

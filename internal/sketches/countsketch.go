@@ -121,6 +121,23 @@ func (c *CountSketch) Estimate(x core.Item) int64 {
 // items); wrap it in a tracker or hierarchy. Returns nil.
 func (c *CountSketch) Query(threshold int64) []core.ItemCount { return nil }
 
+// Clone returns an independent deep copy of the counter array; the hash
+// family (buckets and signs) is shared, being immutable after
+// construction.
+func (c *CountSketch) Clone() *CountSketch {
+	nc := &CountSketch{family: c.family, width: c.width, depth: c.depth, n: c.n}
+	backing := make([]int64, c.depth*c.width)
+	nc.rows = make([][]int64, c.depth)
+	for i := range nc.rows {
+		nc.rows[i], backing = backing[:c.width:c.width], backing[c.width:]
+		copy(nc.rows[i], c.rows[i])
+	}
+	return nc
+}
+
+// Snapshot implements core.Snapshotter.
+func (c *CountSketch) Snapshot() core.Summary { return c.Clone() }
+
 // Bytes implements core.Summary.
 func (c *CountSketch) Bytes() int {
 	return 8*c.depth*c.width + 32*c.depth // counters + bucket and sign hash seeds

@@ -180,6 +180,30 @@ func (h *Hierarchical) Query(threshold int64) []core.ItemCount {
 	return out
 }
 
+// Clone returns an independent deep copy, cloning every level sketch
+// through its own Snapshotter implementation.
+func (h *Hierarchical) Clone() *Hierarchical {
+	nh := &Hierarchical{
+		bits:          h.bits,
+		universeBits:  h.universeBits,
+		n:             h.n,
+		name:          h.name,
+		maxCandidates: h.maxCandidates,
+		levels:        make([]pointSketch, len(h.levels)),
+	}
+	for j, lvl := range h.levels {
+		sn, ok := lvl.(core.Snapshotter)
+		if !ok {
+			panic("sketches: hierarchy level sketch does not implement Snapshotter")
+		}
+		nh.levels[j] = sn.Snapshot().(pointSketch)
+	}
+	return nh
+}
+
+// Snapshot implements core.Snapshotter.
+func (h *Hierarchical) Snapshot() core.Summary { return h.Clone() }
+
 // Bytes sums the level sketches.
 func (h *Hierarchical) Bytes() int {
 	total := 0
