@@ -1,0 +1,100 @@
+// Command benchjson converts `go test -bench` text output (stdin) into
+// the machine-readable JSON the CI benchmark job commits and uploads as
+// BENCH_*.json — the repository's performance trajectory. One entry per
+// benchmark result line, with every reported metric (ns/op, MB/s, B/op,
+// allocs/op, and any custom b.ReportMetric unit) keyed by its unit, plus
+// the package and CPU context lines go test prints.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 2000x ./... | benchjson > BENCH_PR3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the full converted output.
+type Report struct {
+	GOOS       string   `json:"goos,omitempty"`
+	GOARCH     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// parse consumes go test -bench output.
+func parse(r io.Reader) (Report, error) {
+	var rep Report
+	var pkg string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a Benchmark-prefixed non-result line (e.g. a name echo)
+		}
+		res := Result{Name: fields[0], Package: pkg, Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return rep, fmt.Errorf("benchjson: %q: bad metric value %q", fields[0], fields[i])
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+	}
+	return rep, sc.Err()
+}
+
+func main() {
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

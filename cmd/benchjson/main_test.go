@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: streamfreq/internal/persist
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkWALAppend/interval      	    3000	     44994 ns/op	 728.27 MB/s	     101 B/op	       0 allocs/op
+BenchmarkUpdateBatchWAL/nopersist         	    3000	    223693 ns/op	 146.49 MB/s
+pkg: streamfreq
+BenchmarkUpdateBatch/SSH-8       	  200000	        57.1 ns/op	      17.50 upd/ms	   16384 bytes
+PASS
+ok  	streamfreq/internal/persist	4.639s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("header = %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(rep.Benchmarks))
+	}
+	wal := rep.Benchmarks[0]
+	if wal.Name != "BenchmarkWALAppend/interval" || wal.Package != "streamfreq/internal/persist" || wal.Iterations != 3000 {
+		t.Fatalf("first result = %+v", wal)
+	}
+	if wal.Metrics["ns/op"] != 44994 || wal.Metrics["MB/s"] != 728.27 || wal.Metrics["allocs/op"] != 0 {
+		t.Fatalf("metrics = %v", wal.Metrics)
+	}
+	last := rep.Benchmarks[2]
+	if last.Package != "streamfreq" || last.Metrics["upd/ms"] != 17.50 || last.Metrics["ns/op"] != 57.1 {
+		t.Fatalf("custom metrics = %+v", last)
+	}
+}
+
+func TestParseEmptyAndJunk(t *testing.T) {
+	rep, err := parse(strings.NewReader("PASS\nok x 1s\nBenchmarkNameOnly\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("junk parsed as %d results", len(rep.Benchmarks))
+	}
+}

@@ -1,12 +1,16 @@
 // Command freqd serves frequent-items queries over a live stream: it
 // ingests items continuously over HTTP and answers top-k / point-
 // estimate queries from epoch snapshots, so heavy read traffic never
-// blocks the ingest hot path.
+// blocks the ingest hot path. With -data-dir set it is durable: every
+// ingest batch is write-ahead logged and the summary is checkpointed
+// periodically, so a crash (kill -9 included) restarts at the last
+// durable point instead of an empty summary.
 //
 // Usage:
 //
 //	freqd -algo SSH -phi 0.001 -addr :8080
 //	freqd -algo CM -phi 0.01 -shards 8 -staleness 250ms
+//	freqd -algo SSH -phi 0.001 -data-dir /var/lib/freqd -fsync interval -checkpoint-every 1m
 //
 // Ingest (any of):
 //
@@ -20,9 +24,15 @@
 //	curl 'localhost:8080/estimate?token=/index.html'
 //	curl 'localhost:8080/stats'
 //
+// Durability control:
+//
+//	curl -X POST localhost:8080/checkpoint
+//
 // Queries are served from a snapshot refreshed at most once per
 // -staleness window; POST /refresh forces a fresh one. SIGINT/SIGTERM
-// shut the server down gracefully.
+// shut the server down gracefully: with persistence on, shutdown
+// writes a final checkpoint and seals the log, so the next start
+// replays zero WAL records.
 package main
 
 import (
@@ -36,6 +46,7 @@ import (
 
 	"streamfreq"
 	"streamfreq/internal/core"
+	"streamfreq/internal/persist"
 	"streamfreq/internal/serve"
 )
 
@@ -48,14 +59,20 @@ func main() {
 		shards    = flag.Int("shards", 1, "ingest shards (power of two; 1 = single mutex)")
 		staleness = flag.Duration("staleness", 100*time.Millisecond, "query snapshot staleness bound (0 = always fresh)")
 		batch     = flag.Int("batch", 0, "ingest batch length (0 = default)")
+
+		dataDir    = flag.String("data-dir", "", "persistence directory (empty = in-memory only)")
+		fsyncMode  = flag.String("fsync", "interval", "WAL durability: always | interval | never")
+		fsyncEvery = flag.Duration("fsync-interval", 100*time.Millisecond, "group-commit window for -fsync interval")
+		ckptEvery  = flag.Duration("checkpoint-every", time.Minute, "periodic checkpoint cadence (0 = only POST /checkpoint and shutdown)")
 	)
 	flag.Parse()
 
-	target, err := buildTarget(*algo, *phi, *seed, *shards, *staleness)
+	target, store, err := buildTarget(*algo, *phi, *seed, *shards, *staleness,
+		*dataDir, *fsyncMode, *fsyncEvery)
 	if err != nil {
 		fatal(err)
 	}
-	srv := serve.NewServer(serve.Options{Target: target, Algo: *algo, IngestBatch: *batch})
+	srv := serve.NewServer(serve.Options{Target: target, Algo: *algo, IngestBatch: *batch, Store: store})
 
 	stop := make(chan struct{})
 	sig := make(chan os.Signal, 1)
@@ -66,30 +83,106 @@ func main() {
 		close(stop)
 	}()
 
-	fmt.Printf("freqd: serving %s (phi=%g, shards=%d, staleness=%v) on %s\n",
-		*algo, *phi, *shards, *staleness, *addr)
-	if err := srv.ListenAndServe(*addr, stop); err != nil && err != http.ErrServerClosed {
+	if store != nil && *ckptEvery > 0 {
+		go checkpointLoop(store, target.(persist.Target), *ckptEvery, stop)
+	}
+
+	fmt.Printf("freqd: serving %s (phi=%g, shards=%d, staleness=%v", *algo, *phi, *shards, *staleness)
+	if store != nil {
+		fmt.Printf(", data-dir=%s, fsync=%s", *dataDir, *fsyncMode)
+	}
+	fmt.Printf(") on %s\n", *addr)
+	err = srv.ListenAndServe(*addr, stop)
+	if store != nil {
+		// Flush a final checkpoint and seal the log: a clean shutdown
+		// leaves nothing to replay.
+		if _, cerr := store.Checkpoint(target.(persist.Target)); cerr != nil {
+			fmt.Fprintln(os.Stderr, "freqd: final checkpoint:", cerr)
+		}
+		if cerr := store.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "freqd: closing log:", cerr)
+		}
+	}
+	if err != nil && err != http.ErrServerClosed {
 		fatal(err)
 	}
 }
 
+// checkpointLoop checkpoints on a timer until stop closes. Failures are
+// logged and retried next tick; a persistent failure also latches the
+// store, which the serving layer surfaces by refusing ingest.
+func checkpointLoop(store *persist.Store, target persist.Target, every time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if _, err := store.Checkpoint(target); err != nil {
+				fmt.Fprintln(os.Stderr, "freqd: checkpoint:", err)
+			}
+		}
+	}
+}
+
 // buildTarget wraps a registry summary for serving: Sharded across
-// power-of-two shards when asked, plain Concurrent otherwise, with
-// snapshot reads enabled either way.
-func buildTarget(algo string, phi float64, seed uint64, shards int, staleness time.Duration) (serve.Target, error) {
+// power-of-two shards when asked, plain Concurrent otherwise. With a
+// data directory it also opens the durability layer in the startup
+// order recovery requires — construct, recover, wire the WAL, then
+// enable snapshot serving.
+func buildTarget(algo string, phi float64, seed uint64, shards int, staleness time.Duration,
+	dataDir, fsyncMode string, fsyncEvery time.Duration) (serve.Target, *persist.Store, error) {
 	if _, err := streamfreq.New(algo, phi, seed); err != nil {
-		return nil, err // validate algo/phi before wrapping
+		return nil, nil, err // validate algo/phi before wrapping
 	}
 	if shards <= 0 || shards&(shards-1) != 0 {
-		return nil, fmt.Errorf("-shards must be a positive power of two, got %d", shards)
+		return nil, nil, fmt.Errorf("-shards must be a positive power of two, got %d", shards)
 	}
+
+	var durable persist.Target
 	if shards > 1 {
-		s := core.NewSharded(shards, func() core.Summary {
+		durable = core.NewSharded(shards, func() core.Summary {
 			return streamfreq.MustNew(algo, phi, seed)
 		})
-		return s.ServeSnapshots(staleness), nil
+	} else {
+		durable = core.NewConcurrent(streamfreq.MustNew(algo, phi, seed))
 	}
-	return core.NewConcurrent(streamfreq.MustNew(algo, phi, seed)).ServeSnapshots(staleness), nil
+
+	var store *persist.Store
+	if dataDir != "" {
+		policy, err := persist.ParseFsyncPolicy(fsyncMode)
+		if err != nil {
+			return nil, nil, err
+		}
+		store, err = persist.Open(persist.Options{
+			Dir:           dataDir,
+			Algo:          algo,
+			Fsync:         policy,
+			FsyncInterval: fsyncEvery,
+			Decode:        streamfreq.Decode,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		stats, err := store.Recover(durable)
+		if err != nil {
+			return nil, nil, fmt.Errorf("recovering %s: %w", dataDir, err)
+		}
+		fmt.Printf("freqd: recovered n=%d (checkpoint n=%d + %d WAL records", stats.RecoveredN, stats.CheckpointN, stats.ReplayedRecords)
+		if stats.TruncatedBytes > 0 {
+			fmt.Printf(", torn tail of %d bytes truncated", stats.TruncatedBytes)
+		}
+		fmt.Println(")")
+		durable.PersistTo(store)
+	}
+
+	switch t := durable.(type) {
+	case *core.Sharded:
+		return t.ServeSnapshots(staleness), store, nil
+	default:
+		return durable.(*core.Concurrent).ServeSnapshots(staleness), store, nil
+	}
 }
 
 func fatal(err error) {

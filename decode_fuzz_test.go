@@ -37,7 +37,7 @@ func TestDecodeRandomBytesWithValidMagics(t *testing.T) {
 	// Random payloads behind each valid magic: exercises every decoder's
 	// header validation, not just the magic dispatch.
 	rng := prng.New(0xFADE)
-	magics := []string{"CM01", "CS01", "CG01", "HI01", "FQ01", "SS01", "LC01"}
+	magics := []string{"CM01", "CS01", "CG01", "HI01", "FQ01", "SS01", "SL01", "LC01", "TK01"}
 	for _, magic := range magics {
 		for trial := 0; trial < 300; trial++ {
 			size := int(rng.Uint64n(256))
@@ -57,10 +57,12 @@ func TestDecodeBitFlippedBlobs(t *testing.T) {
 	sources := []Summary{
 		NewFrequent(4),
 		NewSpaceSaving(4),
+		NewSpaceSavingList(4),
 		NewLossyCounting(0.1),
 		NewCountMin(2, 16, 3),
 		NewCountSketch(3, 16, 3),
 		NewCGT(2, 8, 16, 3),
+		NewTracked(NewCountMin(2, 16, 3), 8),
 	}
 	for _, s := range sources {
 		s.Update(1, 5)
@@ -103,10 +105,12 @@ func FuzzDecode(f *testing.F) {
 	seedSources := []Summary{
 		NewFrequent(4),
 		NewSpaceSaving(4),
+		NewSpaceSavingList(4),
 		NewLossyCounting(0.1),
 		NewCountMin(2, 16, 3),
 		NewCountSketch(3, 16, 3),
 		NewCGT(2, 8, 16, 3),
+		NewTracked(NewCountMin(2, 16, 3), 8),
 	}
 	for _, s := range seedSources {
 		s.Update(1, 5)
@@ -170,6 +174,8 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 		builders := []func() Summary{
 			func() Summary { return NewFrequent(5) },
 			func() Summary { return NewSpaceSaving(5) },
+			func() Summary { return NewSpaceSavingList(5) },
+			func() Summary { return NewTracked(NewCountMin(2, 16, 3), 8) },
 			func() Summary { return NewLossyCounting(0.1) },
 			func() Summary { return NewLossyCountingD(0.1) },
 			func() Summary { return NewCountMin(2, 16, 3) },

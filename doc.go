@@ -46,6 +46,18 @@
 // GET /topk, point estimates on GET /estimate, and snapshot freshness on
 // GET /stats.
 //
+// # Durability
+//
+// The serving stack is durable when given a data directory
+// (internal/persist, freqd -data-dir): ingest batches are write-ahead
+// logged before they are applied, checkpoints serialize the summary
+// with the same per-algorithm wire formats Decode dispatches on, and
+// startup recovery replays the log tail on top of the last checkpoint —
+// so a crashed server restarts bit-identically to an unfailed run at
+// its last durable point, the paper's long-lived-deployment assumption
+// made operational. Every registry algorithm is checkpointable; the
+// crash contract is pinned registry-wide by recovery_test.go.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction results.
 package streamfreq

@@ -21,6 +21,10 @@ type Concurrent struct {
 	mu    sync.Mutex
 	inner Summary
 
+	// persist, when set by PersistTo, receives every update under the
+	// ingest lock before it is applied (write-ahead order).
+	persist Persister
+
 	// Snapshot serving state. serving and maxStale are set once by
 	// ServeSnapshots before concurrent use; version counts mutations
 	// (bumped inside the lock, read without it) so an unchanged summary
@@ -78,6 +82,9 @@ func (c *Concurrent) Name() string { return c.inner.Name() }
 func (c *Concurrent) Update(x Item, count int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.persist != nil {
+		c.persist.AppendUpdate(x, count)
+	}
 	c.inner.Update(x, count)
 	if c.serving {
 		c.version.Add(1)
@@ -93,6 +100,9 @@ func (c *Concurrent) UpdateBatch(items []Item) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.persist != nil {
+		c.persist.AppendBatch(items)
+	}
 	UpdateAll(c.inner, items)
 	if c.serving {
 		c.version.Add(1)
@@ -277,6 +287,13 @@ type Sharded struct {
 	snap      atomic.Pointer[shardedSnapshot]
 	refreshMu sync.Mutex
 	refreshes atomic.Int64
+
+	// persist, when set by PersistTo, receives every update before it is
+	// scattered; barrier quiesces all writers so SnapshotBarrier can cut
+	// the log at an exact cross-shard position. Writers take the read
+	// side only when persisting, so the non-durable path pays nothing.
+	persist Persister
+	barrier sync.RWMutex
 }
 
 // shardedSnapshot is an immutable ReadView of a Sharded summary: one
@@ -372,9 +389,17 @@ func shardIndex(x Item, mask uint64) uint64 {
 
 func (s *Sharded) shard(x Item) *Concurrent { return s.shards[shardIndex(x, s.mask)] }
 
-// Update routes the arrival to its item's shard.
+// Update routes the arrival to its item's shard, logging it first when
+// persistence is enabled.
 func (s *Sharded) Update(x Item, count int64) {
-	s.shard(x).Update(x, count)
+	if s.persist != nil {
+		s.barrier.RLock()
+		s.persist.AppendUpdate(x, count)
+		s.shard(x).Update(x, count)
+		s.barrier.RUnlock()
+	} else {
+		s.shard(x).Update(x, count)
+	}
 	if s.serving {
 		s.version.Add(1)
 	}
@@ -390,6 +415,14 @@ func (s *Sharded) Update(x Item, count int64) {
 func (s *Sharded) UpdateBatch(items []Item) {
 	if len(items) == 0 {
 		return
+	}
+	if s.persist != nil {
+		// Log, scatter, and flush under the barrier's read side: the log
+		// position and the shard applies move together, so a checkpoint
+		// (which takes the write side) never splits a batch.
+		s.barrier.RLock()
+		defer s.barrier.RUnlock()
+		s.persist.AppendBatch(items)
 	}
 	if len(s.shards) == 1 {
 		s.shards[0].UpdateBatch(items)

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Durability integration for the concurrency wrappers. The wrappers do
+// not know how bytes reach disk — internal/persist does — but write-ahead
+// logging needs three guarantees only the wrappers can give, because they
+// own the ingest locks:
+//
+//   - every ingested update is offered to the log *before* it is applied
+//     (WAL-append-before-apply), in apply order, so the log is always a
+//     superset-prefix of memory: a crash can lose the un-synced tail,
+//     never reorder or invent updates;
+//   - a checkpoint can observe the summary and the log position at one
+//     quiesced instant (SnapshotBarrier), so "state as of N" and "log
+//     records after N" partition the stream exactly;
+//   - a recovered state can be injected back before serving starts
+//     (RestoreState).
+//
+// Persister is implemented by persist.Store; the methods here are wired
+// by cmd/freqd (and tests) at startup, before the wrapper is shared.
+type Persister interface {
+	// AppendBatch logs one unit-count batch, exactly as passed to
+	// UpdateBatch. The callee must not retain items.
+	AppendBatch(items []Item)
+	// AppendUpdate logs one weighted update, exactly as passed to
+	// Update. count may be negative for turnstile summaries.
+	AppendUpdate(x Item, count int64)
+}
+
+// PersistTo routes every subsequent update through p before it is
+// applied, under the ingest lock, so log order equals apply order.
+// Configure before the wrapper is shared between goroutines, like
+// ServeSnapshots. Persistence failures are the Persister's to surface
+// (persist.Store keeps a sticky error); the wrapper keeps applying, so
+// the summary stays available while unsynced durability is lost — the
+// serving layer decides whether to stop accepting writes.
+func (c *Concurrent) PersistTo(p Persister) { c.persist = p }
+
+// SnapshotBarrier clones the inner summary with ingest quiesced and, at
+// the same instant, hands the clone's stream position to cut — the
+// write-ahead log rotates segments there, so every logged record is
+// unambiguously before or after the clone. It returns the wrapper's
+// state as independent per-shard deep copies (always one for
+// Concurrent). cut may be nil.
+func (c *Concurrent) SnapshotBarrier(cut func(n int64)) []Summary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := mustSnapshot(c.inner)
+	if cut != nil {
+		cut(s.N())
+	}
+	return []Summary{s}
+}
+
+// RestoreState replaces the wrapper's summary state with the recovered
+// shards — exactly one for Concurrent. It is a setup-time operation
+// (startup recovery, before the wrapper is shared); the serving
+// snapshot, when already enabled, is re-taken from the restored state.
+func (c *Concurrent) RestoreState(shards []Summary) error {
+	if len(shards) != 1 {
+		return fmt.Errorf("core: Concurrent restore needs 1 shard, got %d", len(shards))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inner = shards[0]
+	if c.serving {
+		c.snap.Store(&snapshotState{view: mustSnapshot(c.inner), version: c.version.Load(), taken: time.Now()})
+		c.refreshes.Add(1)
+	}
+	return nil
+}
+
+// PersistTo routes every subsequent update through p before it is
+// scattered to the shards; see Concurrent.PersistTo. The log sees the
+// stream pre-scatter, so replaying it through UpdateBatch re-scatters
+// identically (the shard hash is deterministic).
+func (s *Sharded) PersistTo(p Persister) { s.persist = p }
+
+// SnapshotBarrier clones every shard with ingest quiesced and hands the
+// clones' total stream position to cut; see Concurrent.SnapshotBarrier.
+// The quiescing barrier is engaged by PersistTo — writers take its read
+// side only when persisting, so the non-durable hot path is untouched —
+// which means the atomic-cut guarantee holds exactly for persisted
+// wrappers, the only callers that need it.
+func (s *Sharded) SnapshotBarrier(cut func(n int64)) []Summary {
+	s.barrier.Lock()
+	defer s.barrier.Unlock()
+	views := make([]Summary, len(s.shards))
+	var n int64
+	for i, sh := range s.shards {
+		views[i] = sh.Snapshot()
+		n += views[i].N()
+	}
+	if cut != nil {
+		cut(n)
+	}
+	return views
+}
+
+// RestoreState replaces each shard's summary with the corresponding
+// recovered shard. The count must match the wrapper's shard count: a
+// checkpoint taken at -shards 8 cannot restore into -shards 4 (per-item
+// shard residency would change under the recovered counters — the
+// operator re-shards by restarting with the original count).
+func (s *Sharded) RestoreState(shards []Summary) error {
+	if len(shards) != len(s.shards) {
+		return fmt.Errorf("core: Sharded restore needs %d shards, got %d (restart with the checkpoint's shard count)",
+			len(s.shards), len(shards))
+	}
+	for i, sum := range shards {
+		if err := s.shards[i].RestoreState([]Summary{sum}); err != nil {
+			return err
+		}
+	}
+	if s.serving {
+		s.refreshMu.Lock()
+		defer s.refreshMu.Unlock()
+		s.snap.Store(s.cloneShards(s.version.Load()))
+		s.refreshes.Add(1)
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary serialization for the Tracked wrapper, completing the registry's
+// wire-format coverage (the CM and CS roster entries are Tracked
+// sketches): the persistence layer checkpoints whatever summary the
+// server runs, so every registry algorithm must round-trip through
+// bytes. The format nests the inner sketch's own blob, dispatched on
+// decode by a caller-supplied decoder — core cannot name the sketch
+// types without an import cycle, and the root package already owns the
+// magic→decoder registry.
+
+// magicTK identifies a Tracked blob.
+const magicTK = "TK01"
+
+// maxTrackedEntries bounds decoded heap sizes against corrupt headers.
+const maxTrackedEntries = 1 << 22
+
+// MarshalBinary implements encoding.BinaryMarshaler. The heap is stored
+// in array order, which DecodeTracked reproduces position for position,
+// so encode→decode→encode is byte-identical. The inner summary must
+// itself implement encoding.BinaryMarshaler.
+func (t *Tracked) MarshalBinary() ([]byte, error) {
+	m, ok := t.inner.(interface{ MarshalBinary() ([]byte, error) })
+	if !ok {
+		return nil, fmt.Errorf("core: Tracked inner %s has no binary encoding", t.inner.Name())
+	}
+	innerBlob, err := m.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.WriteString(magicTK)
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		buf.Write(b[:])
+	}
+	put(uint64(t.capacity))
+	put(uint64(len(t.heap)))
+	for _, e := range t.heap {
+		put(uint64(e.item))
+		put(uint64(e.est))
+	}
+	put(uint64(len(innerBlob)))
+	buf.Write(innerBlob)
+	return buf.Bytes(), nil
+}
+
+// DecodeTracked parses a blob produced by (*Tracked).MarshalBinary,
+// decoding the nested inner-summary blob with decodeInner (the root
+// package's magic dispatch). The heap array is rebuilt at its stored
+// positions and validated as a min-heap, so a corrupt blob is rejected
+// rather than yielding a tracker that silently mis-evicts.
+func DecodeTracked(data []byte, decodeInner func([]byte) (Summary, error)) (*Tracked, error) {
+	if len(data) < 4 || string(data[:4]) != magicTK {
+		return nil, fmt.Errorf("core: not a Tracked blob")
+	}
+	data = data[4:]
+	pos := 0
+	u64 := func() (uint64, error) {
+		if pos+8 > len(data) {
+			return 0, fmt.Errorf("core: truncated Tracked blob at offset %d", pos)
+		}
+		v := binary.LittleEndian.Uint64(data[pos:])
+		pos += 8
+		return v, nil
+	}
+	capacity, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	heapLen, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	if capacity == 0 || capacity > maxTrackedEntries || heapLen > capacity {
+		return nil, fmt.Errorf("core: implausible Tracked header (capacity=%d, entries=%d)", capacity, heapLen)
+	}
+	t := NewTracked(nil, int(capacity)) // inner attached below, after its blob parses
+	t.heap = make(tkHeap, heapLen)
+	for i := range t.heap {
+		item, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		est, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		e := &tkEntry{item: Item(item), est: int64(est), idx: i}
+		if _, dup := t.index[e.item]; dup {
+			return nil, fmt.Errorf("core: duplicate item %d in Tracked blob", e.item)
+		}
+		t.heap[i] = e
+		t.index[e.item] = e
+		if i > 0 && t.heap.less(i, (i-1)/2) {
+			return nil, fmt.Errorf("core: Tracked blob heap order violated at entry %d", i)
+		}
+	}
+	innerLen, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(data)-pos) != innerLen {
+		return nil, fmt.Errorf("core: Tracked inner blob is %d bytes, header says %d", len(data)-pos, innerLen)
+	}
+	inner, err := decodeInner(data[pos:])
+	if err != nil {
+		return nil, fmt.Errorf("core: Tracked inner blob: %w", err)
+	}
+	t.inner = inner
+	return t, nil
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 
 	"streamfreq/internal/core"
 )
@@ -17,6 +18,7 @@ const (
 	magicFQ = "FQ01"
 	magicSS = "SS01"
 	magicLC = "LC01"
+	magicSL = "SL01"
 )
 
 // maxEntries bounds decoded entry counts against corrupt headers.
@@ -178,7 +180,11 @@ func DecodeSpaceSavingHeap(data []byte) (*SpaceSavingHeap, error) {
 	return s, nil
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler.
+// MarshalBinary implements encoding.BinaryMarshaler. Entries are written
+// in ascending item order — the index map has no inherent order, and a
+// canonical layout makes the encoding deterministic: logically equal
+// summaries produce byte-equal blobs, the property the crash-recovery
+// tests (and any content-addressed checkpoint store) compare on.
 func (l *LossyCounting) MarshalBinary() ([]byte, error) {
 	var w entWriter
 	w.buf.WriteString(magicLC)
@@ -186,7 +192,13 @@ func (l *LossyCounting) MarshalBinary() ([]byte, error) {
 	w.u64(uint64(l.variant))
 	w.i64(l.n)
 	w.u64(uint64(len(l.index)))
-	for it, e := range l.index {
+	items := make([]core.Item, 0, len(l.index))
+	for it := range l.index {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	for _, it := range items {
+		e := l.index[it]
 		w.u64(uint64(it))
 		w.i64(e.count)
 		w.i64(e.delta)
@@ -236,4 +248,90 @@ func DecodeLossyCounting(data []byte) (*LossyCounting, error) {
 		return nil, err
 	}
 	return l, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler for the
+// Stream-Summary variant. Entries are written in structural order —
+// buckets ascending by count, entries within a bucket from the head —
+// and DecodeSpaceSavingList rebuilds exactly that linkage, so
+// encode→decode→encode is byte-identical and the decoded structure is
+// validate-clean like a Clone.
+func (s *SpaceSavingList) MarshalBinary() ([]byte, error) {
+	var w entWriter
+	w.buf.WriteString(magicSL)
+	w.u64(uint64(s.k))
+	w.i64(s.n)
+	w.u64(uint64(s.size))
+	for b := s.min; b != nil; b = b.next {
+		for e := b.head; e != nil; e = e.next {
+			w.u64(uint64(e.item))
+			w.i64(b.count)
+			w.i64(e.err)
+		}
+	}
+	return w.buf.Bytes(), nil
+}
+
+// DecodeSpaceSavingList parses a summary produced by
+// (*SpaceSavingList).MarshalBinary, reconstructing the bucket list
+// directly: consecutive entries sharing a count share a bucket, and
+// counts must be non-decreasing (the structural order MarshalBinary
+// emits), so a shuffled or hand-forged blob is rejected.
+func DecodeSpaceSavingList(data []byte) (*SpaceSavingList, error) {
+	if len(data) < 4 || string(data[:4]) != magicSL {
+		return nil, fmt.Errorf("counters: not a SpaceSavingList blob")
+	}
+	r := entReader{data: data[4:]}
+	k := r.u64()
+	n := r.i64()
+	cnt := r.u64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if k == 0 || k > maxEntries || cnt > k {
+		return nil, fmt.Errorf("counters: implausible SpaceSavingList header (k=%d, entries=%d)", k, cnt)
+	}
+	if remaining := len(r.data) - r.pos; uint64(remaining) != cnt*24 {
+		return nil, fmt.Errorf("counters: SpaceSavingList payload %d bytes, want %d", remaining, cnt*24)
+	}
+	s := NewSpaceSavingList(int(k))
+	s.n = n
+	s.size = int(cnt)
+	var curB *ssBucket
+	var lastE *ssEntry
+	for i := uint64(0); i < cnt; i++ {
+		item := core.Item(r.u64())
+		count := r.i64()
+		errv := r.i64()
+		if count <= 0 || errv < 0 || errv > count {
+			return nil, fmt.Errorf("counters: invalid SpaceSavingList entry (count=%d err=%d)", count, errv)
+		}
+		if curB == nil || count != curB.count {
+			if curB != nil && count < curB.count {
+				return nil, fmt.Errorf("counters: SpaceSavingList blob buckets out of order (%d after %d)", count, curB.count)
+			}
+			nb := &ssBucket{count: count, prev: curB}
+			if curB != nil {
+				curB.next = nb
+			} else {
+				s.min = nb
+			}
+			curB, lastE = nb, nil
+		}
+		if _, dup := s.index[item]; dup {
+			return nil, fmt.Errorf("counters: duplicate item in SpaceSavingList blob")
+		}
+		e := &ssEntry{item: item, err: errv, bucket: curB, prev: lastE}
+		if lastE != nil {
+			lastE.next = e
+		} else {
+			curB.head = e
+		}
+		s.index[item] = e
+		lastE = e
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }

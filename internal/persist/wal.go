@@ -1,0 +1,299 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"streamfreq/internal/core"
+)
+
+// Segment and record framing. See the package comment for the layout.
+
+const (
+	segMagic      = "SFWAL001"
+	segHeaderSize = 24
+	recHeaderSize = 8
+	// maxRecordBytes bounds one record's payload against corrupt length
+	// fields: far above any real ingest batch (serve bounds bodies, and
+	// the wrappers pass batches of a few thousand items), far below
+	// anything that could balloon replay memory.
+	maxRecordBytes = 1 << 26
+
+	recUnit     = 0 // body = stream.AppendRaw items, one unit count each
+	recWeighted = 1 // body = item u64, count i64
+)
+
+// segment is the active WAL file. Chunks of framed records are written
+// directly (the Store's pending buffer is the write buffer); fsync is
+// decoupled from writes.
+type segment struct {
+	f      *os.File
+	seq    uint64
+	startN int64
+	size   int64 // bytes written, including the header
+	// syncMu serializes fsync against close so the background flusher
+	// can sync without holding any append-path lock (an fsync can take
+	// tens of milliseconds; holding a write lock across it would stall
+	// ingest — see Store.flusher and Store.writer).
+	syncMu sync.Mutex
+}
+
+// createSegment creates, headers, and syncs a new segment file, so a
+// segment observed by recovery is never headerless unless the creating
+// process died mid-write (which replay treats as a torn, empty
+// segment).
+func createSegment(path string, seq uint64, startN int64) (*segment, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: creating segment: %w", err)
+	}
+	s := &segment{f: f, seq: seq, startN: startN}
+	var hdr [segHeaderSize]byte
+	copy(hdr[:8], segMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], seq)
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(startN))
+	if _, err := f.Write(hdr[:]); err == nil {
+		err = s.sync()
+	} else {
+		err = fmt.Errorf("persist: writing segment header: %w", err)
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	s.size = segHeaderSize
+	return s, nil
+}
+
+// write appends a chunk of framed records to the file.
+func (s *segment) write(chunk []byte) error {
+	if _, err := s.f.Write(chunk); err != nil {
+		return err
+	}
+	s.size += int64(len(chunk))
+	return nil
+}
+
+// sync fsyncs the file.
+func (s *segment) sync() error {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	return s.f.Sync()
+}
+
+// seal is sync; the name marks call sites where the segment stops being
+// the active one (rotation, close).
+func (s *segment) seal() error { return s.sync() }
+
+func (s *segment) close() {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	_ = s.f.Close()
+}
+
+// appendRecord frames one record into dst: header (length, CRC) then
+// payload (kind byte + body). The body encoding is stream.AppendRaw's
+// little-endian item layout, emitted with direct index writes into a
+// pre-grown buffer — this runs under the ingest lock for every batch,
+// so the per-item append-call overhead is worth shaving.
+func appendRecord(dst []byte, kind byte, items []core.Item, x core.Item, count int64) []byte {
+	bodyLen := 16
+	if kind == recUnit {
+		bodyLen = 8 * len(items)
+	}
+	start := len(dst)
+	need := recHeaderSize + 1 + bodyLen
+	if cap(dst)-start < need {
+		// Grow geometrically: exact-fit growth would make a run of
+		// staged appends quadratic (every record re-copying the whole
+		// buffer), and this runs under the ingest lock.
+		newCap := 2*cap(dst) + need
+		grown := make([]byte, start, newCap)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:start+need]
+	dst[start+recHeaderSize] = kind
+	body := dst[start+recHeaderSize+1:]
+	switch kind {
+	case recUnit:
+		for i, it := range items {
+			binary.LittleEndian.PutUint64(body[i*8:], uint64(it))
+		}
+	case recWeighted:
+		binary.LittleEndian.PutUint64(body[0:8], uint64(x))
+		binary.LittleEndian.PutUint64(body[8:16], uint64(count))
+	}
+	payload := dst[start+recHeaderSize:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, crcTable))
+	return dst
+}
+
+// replayResult is what scanning one segment yields.
+type replayResult struct {
+	records  int
+	items    int64 // stream advance applied (weighted counts included)
+	validEnd int64 // file offset just past the last whole, applied record
+	torn     bool  // the scan stopped before EOF (tear or corruption)
+	tornWhy  string
+}
+
+// replaySegment scans one segment file, verifying the header against
+// the expected sequence and stream position, and applies each whole,
+// CRC-clean record through apply (which returns the record's stream
+// advance). The scan stops at the first invalid record — a short
+// header, short payload, CRC mismatch, malformed body, or an apply
+// that panics. A stop with nothing valid after it is a tear (torn=true;
+// the caller truncates); a stop with a CRC-clean frame still following
+// is mid-file damage in front of acknowledged data and returns an
+// error, as does damage in a non-last segment (the caller's
+// position-in-chain check). The file is never modified here.
+func replaySegment(path string, wantSeq uint64, wantStartN int64, apply func(kind byte, body []byte) (int64, error)) (replayResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return replayResult{}, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<18)
+
+	var hdr [segHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		// Headerless or short file: a segment torn at creation. Nothing
+		// to replay; the caller truncates it away entirely.
+		return replayResult{torn: true, tornWhy: "short segment header"}, nil
+	}
+	if string(hdr[:8]) != segMagic {
+		return replayResult{}, fmt.Errorf("persist: %s: bad segment magic %q", path, hdr[:8])
+	}
+	if seq := binary.LittleEndian.Uint64(hdr[8:16]); seq != wantSeq {
+		return replayResult{}, fmt.Errorf("persist: %s: header sequence %d does not match filename", path, seq)
+	}
+	if startN := int64(binary.LittleEndian.Uint64(hdr[16:24])); startN != wantStartN {
+		return replayResult{}, fmt.Errorf("persist: %s: starts at stream position %d, expected %d — the log chain is not continuous", path, startN, wantStartN)
+	}
+
+	res := replayResult{validEnd: segHeaderSize}
+	var rh [recHeaderSize]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, rh[:]); err != nil {
+			if err != io.EOF {
+				res.torn, res.tornWhy = true, "short record header"
+			}
+			return res, nil
+		}
+		length := binary.LittleEndian.Uint32(rh[0:4])
+		crc := binary.LittleEndian.Uint32(rh[4:8])
+		if length == 0 || length > maxRecordBytes {
+			res.torn, res.tornWhy = true, fmt.Sprintf("implausible record length %d", length)
+			return res, nil
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			res.torn, res.tornWhy = true, "short record payload"
+			return res, nil
+		}
+		if crc32.Checksum(payload, crcTable) != crc {
+			if nextFrameValid(br) {
+				return res, fmt.Errorf("persist: %s: record at offset %d fails its CRC with valid records after it — mid-segment corruption, not a tear", path, res.validEnd)
+			}
+			res.torn, res.tornWhy = true, "record CRC mismatch"
+			return res, nil
+		}
+		advance, err := applyRecord(payload, apply)
+		if err != nil {
+			if nextFrameValid(br) {
+				// A tear happens at the tail and cannot be followed by
+				// CRC-clean frames: this record is poison (malformed
+				// body or panicking apply) sitting in front of
+				// acknowledged data. Truncating would silently drop
+				// that data — fail loudly instead.
+				return res, fmt.Errorf("persist: %s: record at offset %d does not replay (%v) and valid records follow it", path, res.validEnd, err)
+			}
+			res.torn, res.tornWhy = true, err.Error()
+			return res, nil
+		}
+		res.records++
+		res.items += advance
+		res.validEnd += int64(recHeaderSize + len(payload))
+	}
+}
+
+// nextFrameValid reports whether another whole, CRC-clean record frame
+// follows on br — the decider between "poison at the exact tail" (trim
+// it like a tear) and "poison mid-segment" (fail recovery rather than
+// drop the valid records behind it). br is consumed; the caller is
+// aborting the scan either way.
+func nextFrameValid(br *bufio.Reader) bool {
+	var rh [recHeaderSize]byte
+	if _, err := io.ReadFull(br, rh[:]); err != nil {
+		return false
+	}
+	length := binary.LittleEndian.Uint32(rh[0:4])
+	if length == 0 || length > maxRecordBytes {
+		return false
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return false
+	}
+	return crc32.Checksum(payload, crcTable) == binary.LittleEndian.Uint32(rh[4:8])
+}
+
+// applyRecord validates the payload's shape and applies it, converting
+// an apply panic into an error: recovery feeds bytes from disk into
+// summaries whose Update contracts panic on counts they reject (a
+// counter summary offered a negative count), and a forged-but-CRC-valid
+// record must degrade into an error, never crash the daemon.
+func applyRecord(payload []byte, apply func(kind byte, body []byte) (int64, error)) (advance int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			advance, err = 0, fmt.Errorf("record replay panicked: %v", r)
+		}
+	}()
+	kind, body := payload[0], payload[1:]
+	switch kind {
+	case recUnit:
+		if len(body) == 0 || len(body)%8 != 0 {
+			return 0, fmt.Errorf("unit record body of %d bytes", len(body))
+		}
+	case recWeighted:
+		if len(body) != 16 {
+			return 0, fmt.Errorf("weighted record body of %d bytes", len(body))
+		}
+	default:
+		return 0, fmt.Errorf("unknown record kind %d", kind)
+	}
+	return apply(kind, body)
+}
+
+// truncateSegment drops a torn tail, leaving the longest valid prefix
+// durable, so the next recovery replays the same prefix cleanly. A
+// segment torn inside its header is removed outright.
+func truncateSegment(path string, validEnd int64) error {
+	if validEnd < segHeaderSize {
+		return os.Remove(path)
+	}
+	if err := os.Truncate(path, validEnd); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

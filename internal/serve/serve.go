@@ -14,11 +14,21 @@
 //	                  application/x-sfstream    an SFSTRM01 stream file
 //	GET  /topk      ?phi=0.001 (threshold φ·N) or ?threshold=123; &k= caps
 //	GET  /estimate  ?item=123 | ?item=0x7b | ?token=foo
-//	GET  /stats     stream length, footprint, snapshot age, traffic meters
+//	GET  /stats     stream length, footprint, snapshot age, traffic
+//	                meters, and — when persistence is on — WAL and
+//	                checkpoint state
 //	POST /refresh   force a fresh serving snapshot (deterministic cutover)
+//	POST /checkpoint  write a durable checkpoint now and truncate the WAL
+//
+// With a persist.Store attached (Options.Store), ingest is write-ahead
+// logged by the target wrapper itself; the server's role is to stop
+// acknowledging writes once the log has failed (503 — accepting updates
+// it cannot make durable would silently change the crash contract) and
+// to expose the checkpoint control and observability surface.
 //
 // The package is the testable core of cmd/freqd: the command adds flags,
-// listening, and signals around NewServer/Handler.
+// listening, signals, recovery, and the checkpoint timer around
+// NewServer/Handler.
 package serve
 
 import (
@@ -34,6 +44,7 @@ import (
 
 	"streamfreq/internal/core"
 	"streamfreq/internal/metrics"
+	"streamfreq/internal/persist"
 	"streamfreq/internal/stream"
 )
 
@@ -93,6 +104,12 @@ type Options struct {
 	// bounded too, so tokens first seen after the cap go unlabeled —
 	// heavy hitters are overwhelmingly already present by then.
 	MaxTokenNames int
+	// Store, when set, is the durability layer the Target is already
+	// wired to (Recover + PersistTo happened at startup): the server
+	// exposes POST /checkpoint and the WAL/checkpoint stats, and fails
+	// ingest once the store has latched a failure. The Target must
+	// implement persist.Target.
+	Store *persist.Store
 }
 
 // Server is the freqd HTTP serving state: the target summary, the token
@@ -103,6 +120,8 @@ type Server struct {
 	batch    int
 	maxIn    int64
 	maxNames int
+	store    *persist.Store
+	durable  persist.Target // target as persist.Target; nil without a store
 	meter    *metrics.Meter
 	start    time.Time
 
@@ -131,16 +150,25 @@ func NewServer(opts Options) *Server {
 	if opts.MaxTokenNames <= 0 {
 		opts.MaxTokenNames = 1 << 16
 	}
-	return &Server{
+	s := &Server{
 		target:   opts.Target,
 		algo:     opts.Algo,
 		batch:    opts.IngestBatch,
 		maxIn:    opts.MaxIngestBytes,
 		maxNames: opts.MaxTokenNames,
+		store:    opts.Store,
 		meter:    metrics.NewMeter(),
 		start:    time.Now(),
 		names:    make(map[core.Item]string),
 	}
+	if opts.Store != nil {
+		d, ok := opts.Target.(persist.Target)
+		if !ok {
+			panic("serve: Options.Store set but Target does not implement persist.Target")
+		}
+		s.durable = d
+	}
+	return s
 }
 
 // Handler returns the HTTP API mux.
@@ -151,6 +179,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/estimate", s.handleEstimate)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/refresh", s.handleRefresh)
+	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	return mux
 }
 
@@ -194,6 +223,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
+	}
+	if s.store != nil {
+		if err := s.store.Err(); err != nil {
+			// The WAL has failed: accepting this write would acknowledge
+			// data that cannot survive a restart. Serve reads, refuse
+			// writes, page the operator.
+			s.meter.Add("ingest.rejected", 1)
+			httpError(w, http.StatusServiceUnavailable, "persistence failed, ingest disabled: %v", err)
+			return
+		}
 	}
 	body := http.MaxBytesReader(w, r.Body, s.maxIn)
 	ct := r.Header.Get("Content-Type")
@@ -393,7 +432,59 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"max_stale_ms": st.MaxStale.Milliseconds(),
 		}
 	}
+	if s.store != nil {
+		ps := s.store.Stats()
+		resp["wal"] = map[string]any{
+			"dir":              ps.Dir,
+			"fsync":            ps.Fsync,
+			"segments":         ps.WALSegments,
+			"active_segment":   ps.ActiveSegment,
+			"end_n":            ps.WALEndN,
+			"durable_n":        ps.DurableN,
+			"appended_records": ps.AppendedRecords,
+			"appended_bytes":   ps.AppendedBytes,
+			"inline_drains":    ps.InlineDrains,
+			"fsyncs":           ps.Fsyncs,
+			"error":            ps.Err,
+		}
+		resp["checkpoint"] = map[string]any{
+			"count":        ps.Checkpoints,
+			"last_n":       ps.LastCkptN,
+			"last_bytes":   ps.LastCkptBytes,
+			"last_age_ms":  ps.LastCkptAge.Milliseconds(),
+			"recovered_n":  ps.Recovery.RecoveredN,
+			"replayed":     ps.Recovery.ReplayedRecords,
+			"truncated_b":  ps.Recovery.TruncatedBytes,
+			"ckpt_shards":  ps.Recovery.CheckpointShards,
+			"checkpoint_n": ps.Recovery.CheckpointN,
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCheckpoint writes a durable checkpoint on demand — operators
+// call it before planned maintenance so the restart replays nothing,
+// and tests use it as a deterministic durability cutover.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.store == nil {
+		httpError(w, http.StatusNotImplemented, "persistence is not enabled (-data-dir)")
+		return
+	}
+	ps, err := s.store.Checkpoint(s.durable)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "checkpoint failed: %v", err)
+		return
+	}
+	s.meter.Add("checkpoint.forced", 1)
+	writeJSON(w, http.StatusOK, map[string]int64{
+		"n":     ps.LastCkptN,
+		"bytes": ps.LastCkptBytes,
+		"count": ps.Checkpoints,
+	})
 }
 
 // handleRefresh forces a fresh serving snapshot, so operators (and

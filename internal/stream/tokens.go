@@ -3,6 +3,7 @@ package stream
 import (
 	"bufio"
 	"encoding/binary"
+	"fmt"
 	"io"
 
 	"streamfreq/internal/core"
@@ -155,7 +156,8 @@ func (s *RawSource) Err() error { return s.readErr }
 
 // AppendRaw appends the little-endian wire encoding of items to dst and
 // returns it — the encoder matching RawSource, used by clients posting
-// binary batches to freqd.
+// binary batches to freqd and by the write-ahead log's record payloads
+// (internal/persist).
 func AppendRaw(dst []byte, items []core.Item) []byte {
 	var raw [8]byte
 	for _, it := range items {
@@ -163,4 +165,20 @@ func AppendRaw(dst []byte, items []core.Item) []byte {
 		dst = append(dst, raw[:]...)
 	}
 	return dst
+}
+
+// DecodeRaw decodes a complete in-memory AppendRaw payload into items,
+// appending to dst. Unlike RawSource — which streams unbounded wire
+// input and tolerates a torn tail by surfacing it through Err — DecodeRaw
+// is for framed payloads whose length is already known and trusted
+// (a CRC-verified WAL record): a length that is not a whole number of
+// items is corruption, reported as an error with nothing decoded.
+func DecodeRaw(dst []core.Item, b []byte) ([]core.Item, error) {
+	if len(b)%8 != 0 {
+		return dst, fmt.Errorf("stream: raw payload of %d bytes is not a whole number of items", len(b))
+	}
+	for ; len(b) > 0; b = b[8:] {
+		dst = append(dst, core.Item(binary.LittleEndian.Uint64(b)))
+	}
+	return dst, nil
 }

@@ -148,6 +148,25 @@ var decoders = map[string]func([]byte) (Summary, error){
 	"FQ01": func(b []byte) (Summary, error) { return counters.DecodeFrequent(b) },
 	"SS01": func(b []byte) (Summary, error) { return counters.DecodeSpaceSavingHeap(b) },
 	"LC01": func(b []byte) (Summary, error) { return counters.DecodeLossyCounting(b) },
+	"SL01": func(b []byte) (Summary, error) { return counters.DecodeSpaceSavingList(b) },
+}
+
+// The TK01 decoder recursively dispatches through Decode for the nested
+// sketch blob, so it is registered in init to break the initialization
+// cycle a map-literal entry would create.
+func init() {
+	decoders["TK01"] = func(b []byte) (Summary, error) { return core.DecodeTracked(b, decodeTrackedInner) }
+}
+
+// decodeTrackedInner dispatches a Tracked wrapper's nested sketch blob.
+// Nesting a Tracked inside a Tracked is not a configuration New can
+// produce, and rejecting it here bounds decode recursion, so a forged
+// blob cannot wind the stack (FuzzDecode leans on this).
+func decodeTrackedInner(b []byte) (core.Summary, error) {
+	if len(b) >= 4 && string(b[:4]) == "TK01" {
+		return nil, fmt.Errorf("streamfreq: nested Tracked blobs are not supported")
+	}
+	return Decode(b)
 }
 
 // SupportedMagics returns the wire-format magics Decode can dispatch on,
