@@ -1,21 +1,42 @@
-// Command benchjson converts `go test -bench` text output (stdin) into
-// the machine-readable JSON the CI benchmark job commits and uploads as
-// BENCH_*.json — the repository's performance trajectory. One entry per
-// benchmark result line, with every reported metric (ns/op, MB/s, B/op,
-// allocs/op, and any custom b.ReportMetric unit) keyed by its unit, plus
-// the package and CPU context lines go test prints.
+// Command benchjson is the machine side of the repository's performance
+// trajectory. It has two modes:
 //
-// Usage:
+// Convert (default): turn `go test -bench` text output (stdin) into the
+// JSON the CI benchmark job commits and uploads as BENCH_*.json — one
+// entry per benchmark result line, with every reported metric (ns/op,
+// MB/s, B/op, allocs/op, and any custom b.ReportMetric unit) keyed by
+// its unit, plus the package and CPU context lines go test prints:
 //
-//	go test -run '^$' -bench . -benchtime 2000x ./... | benchjson > BENCH_PR3.json
+//	go test -run '^$' -bench . -benchtime 2000x ./... | benchjson > BENCH_PR4.json
+//
+// Diff: compare two such files and gate on regressions — the CI bench
+// job runs it against the committed trajectory seed so a slowdown fails
+// the build instead of relying on humans eyeballing artifacts:
+//
+//	benchjson -diff BENCH_PR4.json fresh.json            # 15% default
+//	benchjson -diff -threshold 10 -metric ns/op old new
+//
+// The diff prints one row per benchmark with the old and new value and
+// the delta percentage, and exits nonzero if any benchmark shared by
+// both files regressed past -threshold. Benchmarks are matched by
+// package and name with the trailing -GOMAXPROCS suffix stripped, so a
+// run on a 4-core runner compares against a seed from an 8-core one.
+// Benchmarks present on only one side are reported (renames and
+// deletions stay visible in the log) without failing — except seed
+// benchmarks matching -gate, which are the gate's key set: a gated
+// benchmark missing from the new run fails the diff, so deleting or
+// renaming a key benchmark cannot silently vacate the gate.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -81,7 +102,211 @@ func parse(r io.Reader) (Report, error) {
 	return rep, sc.Err()
 }
 
+// procSuffix is the -GOMAXPROCS tail go test appends to benchmark names
+// (absent when GOMAXPROCS is 1). Stripped for matching so the same
+// benchmark compares across machines with different core counts.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// benchKey identifies one benchmark across reports.
+func benchKey(r Result) string {
+	return r.Package + "›" + procSuffix.ReplaceAllString(r.Name, "")
+}
+
+// diffRow is one benchmark's comparison on the gated metric.
+type diffRow struct {
+	Key      string
+	Old, New float64
+	DeltaPct float64
+	Gated    bool // whether this row can fail the build (-gate regexp)
+}
+
+// diffResult is a full comparison of two reports.
+type diffResult struct {
+	Rows         []diffRow
+	MissingInNew []string // in old only: renamed or deleted benchmarks
+	AddedInNew   []string // in new only: the next seed will cover them
+	NoMetric     []string // shared, but one side lacks the gated metric
+	Regressed    []diffRow
+	// MissingGated are seed benchmarks matching -gate that the new run
+	// did not produce (or produced without the gated metric). They fail
+	// the diff: the gate's key set is defined by the committed seed, and
+	// a gated benchmark that silently stops running would otherwise
+	// vacate the gate while the CI step still looks enforced.
+	MissingGated []string
+}
+
+// diffReports compares new against old on metric: positive delta means
+// new is slower (for ns/op-style lower-is-better metrics). Rows past
+// threshold percent whose key matches gate land in Regressed; rows
+// outside the gate are still tabulated (the trend stays visible) but
+// cannot fail the build — disk-bound benchmarks on shared runners swing
+// far past any honest CPU threshold, so the gate names the key set.
+// A nil gate means everything gates.
+func diffReports(oldRep, newRep Report, metric string, threshold float64, gate *regexp.Regexp) diffResult {
+	var d diffResult
+	newByKey := make(map[string]Result, len(newRep.Benchmarks))
+	for _, r := range newRep.Benchmarks {
+		newByKey[benchKey(r)] = r
+	}
+	seen := make(map[string]bool, len(oldRep.Benchmarks))
+	for _, o := range oldRep.Benchmarks {
+		key := benchKey(o)
+		seen[key] = true
+		n, ok := newByKey[key]
+		if !ok {
+			d.MissingInNew = append(d.MissingInNew, key)
+			if gate != nil && gate.MatchString(key) {
+				d.MissingGated = append(d.MissingGated, key)
+			}
+			continue
+		}
+		ov, okO := o.Metrics[metric]
+		nv, okN := n.Metrics[metric]
+		if !okO || !okN || ov == 0 {
+			d.NoMetric = append(d.NoMetric, key)
+			if gate != nil && gate.MatchString(key) && okO && ov != 0 {
+				// The seed gates this key on the metric, the new run lost
+				// it — as enforceable as the benchmark disappearing.
+				d.MissingGated = append(d.MissingGated, key)
+			}
+			continue
+		}
+		row := diffRow{Key: key, Old: ov, New: nv, DeltaPct: (nv - ov) / ov * 100}
+		row.Gated = gate == nil || gate.MatchString(key)
+		d.Rows = append(d.Rows, row)
+		if row.Gated && row.DeltaPct > threshold {
+			d.Regressed = append(d.Regressed, row)
+		}
+	}
+	for _, n := range newRep.Benchmarks {
+		if key := benchKey(n); !seen[key] {
+			d.AddedInNew = append(d.AddedInNew, key)
+		}
+	}
+	sort.Slice(d.Rows, func(i, j int) bool { return d.Rows[i].Key < d.Rows[j].Key })
+	sort.Strings(d.MissingInNew)
+	sort.Strings(d.AddedInNew)
+	sort.Strings(d.NoMetric)
+	return d
+}
+
+// printDiff renders the comparison table; returns the process exit code
+// (0 clean, 1 regressed).
+func printDiff(w io.Writer, d diffResult, metric string, threshold float64) int {
+	fmt.Fprintf(w, "%-64s %14s %14s %9s\n", "benchmark", "old "+metric, "new "+metric, "delta")
+	for _, r := range d.Rows {
+		mark := ""
+		switch {
+		case r.Gated && r.DeltaPct > threshold:
+			mark = "  << REGRESSION"
+		case !r.Gated && r.DeltaPct > threshold:
+			mark = "  (past threshold; outside -gate, not enforced)"
+		case !r.Gated:
+			mark = "  (ungated)"
+		}
+		fmt.Fprintf(w, "%-64s %14.2f %14.2f %+8.1f%%%s\n", r.Key, r.Old, r.New, r.DeltaPct, mark)
+	}
+	for _, k := range d.MissingInNew {
+		fmt.Fprintf(w, "%-64s missing from new run (renamed or deleted?)\n", k)
+	}
+	for _, k := range d.AddedInNew {
+		fmt.Fprintf(w, "%-64s new benchmark (not in the committed seed)\n", k)
+	}
+	for _, k := range d.NoMetric {
+		fmt.Fprintf(w, "%-64s no %s on both sides; skipped\n", k, metric)
+	}
+	if len(d.MissingGated) > 0 {
+		fmt.Fprintf(w, "FAIL: %d gated benchmark(s) missing %s in the new run: %s\n",
+			len(d.MissingGated), metric, strings.Join(d.MissingGated, ", "))
+		return 1
+	}
+	if len(d.Regressed) > 0 {
+		fmt.Fprintf(w, "FAIL: %d benchmark(s) regressed more than %+.1f%% on %s\n",
+			len(d.Regressed), threshold, metric)
+		return 1
+	}
+	fmt.Fprintf(w, "OK: %d benchmark(s) within %+.1f%% on %s\n", len(d.Rows), threshold, metric)
+	return 0
+}
+
+// newFlagSet builds the CLI flags; factored so tests can drive parsing.
+func newFlagSet(diffMode *bool, threshold *float64, metric, gate *string) *flag.FlagSet {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.BoolVar(diffMode, "diff", false, "compare two BENCH_*.json files instead of converting stdin")
+	fs.Float64Var(threshold, "threshold", 15, "max regression percent on -metric before a nonzero exit (diff mode)")
+	fs.StringVar(metric, "metric", "ns/op", "metric unit the diff gates on")
+	fs.StringVar(gate, "gate", "", "regexp of benchmark keys the threshold enforces (empty = all; non-matching rows are reported, never fatal)")
+	return fs
+}
+
+func readReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return rep, nil
+}
+
 func main() {
+	var (
+		diffMode  bool
+		threshold float64
+		metric    string
+		gateExpr  string
+	)
+	fs := newFlagSet(&diffMode, &threshold, &metric, &gateExpr)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	if diffMode {
+		// The standard flag package stops at the first positional, so
+		// re-parse anything after the two file arguments — both
+		// `-diff -threshold 10 old new` and `-diff old new -threshold 10`
+		// work. Anything the re-parse leaves over (a third file, a flag
+		// wedged between the operands) is a usage error, not something to
+		// guess about — a CI invocation gating the wrong pair of files
+		// must fail loudly.
+		args := fs.Args()
+		if len(args) > 2 {
+			if err := fs.Parse(args[2:]); err != nil {
+				os.Exit(2)
+			}
+			if fs.NArg() != 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: unexpected arguments %v (flags go before or after the two files, not between)\n", fs.Args())
+				os.Exit(2)
+			}
+			args = args[:2]
+		}
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff [-threshold PCT] [-metric UNIT] [-gate RE] old.json new.json")
+			os.Exit(2)
+		}
+		oldRep, err := readReport(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		newRep, err := readReport(args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		var gate *regexp.Regexp
+		if gateExpr != "" {
+			if gate, err = regexp.Compile(gateExpr); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: bad -gate:", err)
+				os.Exit(2)
+			}
+		}
+		d := diffReports(oldRep, newRep, metric, threshold, gate)
+		os.Exit(printDiff(os.Stdout, d, metric, threshold))
+	}
+
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -48,5 +49,253 @@ func TestParseEmptyAndJunk(t *testing.T) {
 	}
 	if len(rep.Benchmarks) != 0 {
 		t.Fatalf("junk parsed as %d results", len(rep.Benchmarks))
+	}
+}
+
+// mkReport builds a Report from name→ns/op pairs (plus a package and an
+// optional extra metric map), in insertion order.
+func mkReport(pkg string, pairs ...any) Report {
+	var rep Report
+	rep.CPU = "testcpu"
+	for i := 0; i+1 < len(pairs); i += 2 {
+		rep.Benchmarks = append(rep.Benchmarks, Result{
+			Name:       pairs[i].(string),
+			Package:    pkg,
+			Iterations: 1000,
+			Metrics:    map[string]float64{"ns/op": pairs[i+1].(float64)},
+		})
+	}
+	return rep
+}
+
+func TestDiffReports(t *testing.T) {
+	const threshold = 15.0
+	cases := []struct {
+		name          string
+		old, new      Report
+		wantRegressed []string
+		wantMissing   []string
+		wantAdded     []string
+		wantNoMetric  []string
+		wantExit      int
+	}{
+		{
+			name:     "within threshold",
+			old:      mkReport("p", "BenchmarkA-8", 100.0, "BenchmarkB-8", 200.0),
+			new:      mkReport("p", "BenchmarkA-8", 110.0, "BenchmarkB-8", 190.0),
+			wantExit: 0,
+		},
+		{
+			name:          "regression past threshold",
+			old:           mkReport("p", "BenchmarkA-8", 100.0, "BenchmarkB-8", 200.0),
+			new:           mkReport("p", "BenchmarkA-8", 116.0, "BenchmarkB-8", 200.0),
+			wantRegressed: []string{"p›BenchmarkA"},
+			wantExit:      1,
+		},
+		{
+			name:     "improvement never fails",
+			old:      mkReport("p", "BenchmarkA-8", 100.0),
+			new:      mkReport("p", "BenchmarkA-8", 20.0),
+			wantExit: 0,
+		},
+		{
+			name:        "missing benchmark reported, not fatal",
+			old:         mkReport("p", "BenchmarkA-8", 100.0, "BenchmarkGone-8", 50.0),
+			new:         mkReport("p", "BenchmarkA-8", 100.0),
+			wantMissing: []string{"p›BenchmarkGone"},
+			wantExit:    0,
+		},
+		{
+			name:        "renamed benchmark is a missing+added pair",
+			old:         mkReport("p", "BenchmarkOldName-8", 100.0),
+			new:         mkReport("p", "BenchmarkNewName-8", 100.0),
+			wantMissing: []string{"p›BenchmarkOldName"},
+			wantAdded:   []string{"p›BenchmarkNewName"},
+			wantExit:    0,
+		},
+		{
+			name:     "GOMAXPROCS suffix normalized across machines",
+			old:      mkReport("p", "BenchmarkA-8", 100.0),
+			new:      mkReport("p", "BenchmarkA-4", 105.0),
+			wantExit: 0,
+		},
+		{
+			name:          "sub-benchmark regression",
+			old:           mkReport("p", "BenchmarkUpdateBatch/SSH-8", 57.1),
+			new:           mkReport("p", "BenchmarkUpdateBatch/SSH-8", 90.0),
+			wantRegressed: []string{"p›BenchmarkUpdateBatch/SSH"},
+			wantExit:      1,
+		},
+		{
+			name: "same name in different packages are distinct",
+			old: Report{Benchmarks: []Result{
+				{Name: "BenchmarkX-8", Package: "p1", Metrics: map[string]float64{"ns/op": 100}},
+				{Name: "BenchmarkX-8", Package: "p2", Metrics: map[string]float64{"ns/op": 100}},
+			}},
+			new: Report{Benchmarks: []Result{
+				{Name: "BenchmarkX-8", Package: "p1", Metrics: map[string]float64{"ns/op": 100}},
+				{Name: "BenchmarkX-8", Package: "p2", Metrics: map[string]float64{"ns/op": 300}},
+			}},
+			wantRegressed: []string{"p2›BenchmarkX"},
+			wantExit:      1,
+		},
+		{
+			name: "metric absent on one side is skipped",
+			old: Report{Benchmarks: []Result{
+				{Name: "BenchmarkA-8", Package: "p", Metrics: map[string]float64{"ns/op": 100}},
+			}},
+			new: Report{Benchmarks: []Result{
+				{Name: "BenchmarkA-8", Package: "p", Metrics: map[string]float64{"MB/s": 5}},
+			}},
+			wantNoMetric: []string{"p›BenchmarkA"},
+			wantExit:     0,
+		},
+		{
+			name:     "empty new run is all-missing, not a crash",
+			old:      mkReport("p", "BenchmarkA-8", 100.0),
+			new:      Report{},
+			wantExit: 0, wantMissing: []string{"p›BenchmarkA"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := diffReports(tc.old, tc.new, "ns/op", threshold, nil)
+			var regressed []string
+			for _, r := range d.Regressed {
+				regressed = append(regressed, r.Key)
+			}
+			if !equalStrings(regressed, tc.wantRegressed) {
+				t.Fatalf("regressed = %v, want %v", regressed, tc.wantRegressed)
+			}
+			if !equalStrings(d.MissingInNew, tc.wantMissing) {
+				t.Fatalf("missing = %v, want %v", d.MissingInNew, tc.wantMissing)
+			}
+			if !equalStrings(d.AddedInNew, tc.wantAdded) {
+				t.Fatalf("added = %v, want %v", d.AddedInNew, tc.wantAdded)
+			}
+			if !equalStrings(d.NoMetric, tc.wantNoMetric) {
+				t.Fatalf("nometric = %v, want %v", d.NoMetric, tc.wantNoMetric)
+			}
+			var out strings.Builder
+			if exit := printDiff(&out, d, "ns/op", threshold); exit != tc.wantExit {
+				t.Fatalf("exit = %d, want %d\n%s", exit, tc.wantExit, out.String())
+			}
+			if tc.wantExit == 1 && !strings.Contains(out.String(), "REGRESSION") {
+				t.Fatalf("regression table missing marker:\n%s", out.String())
+			}
+		})
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDiffDeltaMath pins the delta computation and the exact-threshold
+// edge: a delta of exactly the threshold passes (the gate is strictly
+// greater-than).
+func TestDiffDeltaMath(t *testing.T) {
+	old := mkReport("p", "BenchmarkA-8", 200.0)
+	new := mkReport("p", "BenchmarkA-8", 230.0) // exactly +15%
+	d := diffReports(old, new, "ns/op", 15, nil)
+	if len(d.Regressed) != 0 {
+		t.Fatalf("exactly-at-threshold regressed: %+v", d.Regressed)
+	}
+	if got := d.Rows[0].DeltaPct; got != 15 {
+		t.Fatalf("delta = %v, want 15", got)
+	}
+	new = mkReport("p", "BenchmarkA-8", 230.1)
+	if d = diffReports(old, new, "ns/op", 15, nil); len(d.Regressed) != 1 {
+		t.Fatal("just-past-threshold did not regress")
+	}
+}
+
+// TestDiffFlagDefaults pins the CLI contract the CI workflow depends on.
+func TestDiffFlagDefaults(t *testing.T) {
+	var diffMode bool
+	var threshold float64
+	var metric, gate string
+	fs := newFlagSet(&diffMode, &threshold, &metric, &gate)
+	if err := fs.Parse([]string{"-diff", "old.json", "new.json"}); err != nil {
+		t.Fatal(err)
+	}
+	if !diffMode || threshold != 15 || metric != "ns/op" || gate != "" {
+		t.Fatalf("defaults: diff=%v threshold=%v metric=%q, want true/15/ns-op", diffMode, threshold, metric)
+	}
+	if fs.NArg() != 2 || fs.Arg(0) != "old.json" {
+		t.Fatalf("positional args = %v", fs.Args())
+	}
+}
+
+// TestDiffGateScope: rows outside -gate are tabulated but cannot fail
+// the build — how CI keeps disk-bound benchmarks visible as trend data
+// while enforcing the threshold on the CPU-bound key set.
+func TestDiffGateScope(t *testing.T) {
+	old := mkReport("p", "BenchmarkUpdateBatch/SSH-8", 100.0, "BenchmarkWALAppend/never-8", 100.0)
+	new := mkReport("p", "BenchmarkUpdateBatch/SSH-8", 110.0, "BenchmarkWALAppend/never-8", 300.0)
+	gate := regexp.MustCompile(`BenchmarkUpdateBatch|BenchmarkSnapshotServing`)
+
+	d := diffReports(old, new, "ns/op", 15, gate)
+	if len(d.Regressed) != 0 {
+		t.Fatalf("ungated WAL noise failed the gate: %+v", d.Regressed)
+	}
+	var out strings.Builder
+	if exit := printDiff(&out, d, "ns/op", 15); exit != 0 {
+		t.Fatalf("exit = %d with only ungated regressions\n%s", exit, out.String())
+	}
+	if !strings.Contains(out.String(), "outside -gate") {
+		t.Fatalf("ungated past-threshold row not flagged in output:\n%s", out.String())
+	}
+
+	// The same regression inside the gate still fails.
+	new = mkReport("p", "BenchmarkUpdateBatch/SSH-8", 300.0, "BenchmarkWALAppend/never-8", 100.0)
+	d = diffReports(old, new, "ns/op", 15, gate)
+	if len(d.Regressed) != 1 || d.Regressed[0].Key != "p›BenchmarkUpdateBatch/SSH" {
+		t.Fatalf("gated regression not caught: %+v", d.Regressed)
+	}
+}
+
+// TestDiffGatedMissingFails: a seed benchmark inside -gate that the new
+// run did not produce fails the diff — the gate cannot be vacated by
+// deleting or renaming a key benchmark.
+func TestDiffGatedMissingFails(t *testing.T) {
+	gate := regexp.MustCompile(`BenchmarkUpdateBatch`)
+	old := mkReport("p", "BenchmarkUpdateBatch/SSH-8", 100.0, "BenchmarkWALAppend/never-8", 50.0)
+
+	// Gated benchmark gone entirely.
+	d := diffReports(old, mkReport("p", "BenchmarkWALAppend/never-8", 50.0), "ns/op", 15, gate)
+	if len(d.MissingGated) != 1 || d.MissingGated[0] != "p›BenchmarkUpdateBatch/SSH" {
+		t.Fatalf("MissingGated = %v, want the gated key", d.MissingGated)
+	}
+	var out strings.Builder
+	if exit := printDiff(&out, d, "ns/op", 15); exit != 1 {
+		t.Fatalf("exit = %d, want 1 when a gated benchmark is missing\n%s", exit, out.String())
+	}
+
+	// Gated benchmark present but without the gated metric.
+	d = diffReports(old, Report{Benchmarks: []Result{
+		{Name: "BenchmarkUpdateBatch/SSH-8", Package: "p", Metrics: map[string]float64{"MB/s": 1}},
+		{Name: "BenchmarkWALAppend/never-8", Package: "p", Metrics: map[string]float64{"ns/op": 50}},
+	}}, "ns/op", 15, gate)
+	if len(d.MissingGated) != 1 {
+		t.Fatalf("metric-less gated benchmark not flagged: %+v", d)
+	}
+
+	// An ungated missing benchmark still passes.
+	d = diffReports(old, mkReport("p", "BenchmarkUpdateBatch/SSH-8", 100.0), "ns/op", 15, gate)
+	if len(d.MissingGated) != 0 {
+		t.Fatalf("ungated missing benchmark flagged as gated: %v", d.MissingGated)
+	}
+	out.Reset()
+	if exit := printDiff(&out, d, "ns/op", 15); exit != 0 {
+		t.Fatalf("exit = %d, want 0 for ungated missing\n%s", exit, out.String())
 	}
 }

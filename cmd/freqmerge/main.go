@@ -1,0 +1,87 @@
+// Command freqmerge serves frequent-items queries over a whole cluster:
+// it periodically pulls the summary blob from every freqd node, merges
+// them (the paper's X2 merge experiment as a network service), and
+// answers /topk and /estimate over the union stream through the same
+// HTTP API as a single node — point clients at a freqmerge and they
+// cannot tell the difference.
+//
+// Usage:
+//
+//	freqmerge -nodes http://10.0.0.1:8080,http://10.0.0.2:8080 -addr :8090
+//	freqmerge -nodes node1:8080,node2:8080 -interval 500ms -algo SSH
+//
+// Query (identical to freqd):
+//
+//	curl 'localhost:8090/topk?phi=0.001&k=20'
+//	curl 'localhost:8090/estimate?item=123'
+//	curl 'localhost:8090/stats'          # + per-node freshness/epochs/errors
+//	curl -X POST localhost:8090/refresh  # pull every node now
+//
+// Semantics under failure: an unreachable node keeps serving its last
+// pulled summary (stale, surfaced in /stats); a restarted node is
+// detected by its changed epoch and its summary replaced wholesale —
+// durable nodes replay their WAL and come back cumulative, so nothing
+// is ever double-counted; a node running a different algorithm is
+// rejected with a clear per-node error. Coordinators stack: freqmerge
+// serves GET /summary of its merged state, so a higher tier can pull
+// a region's coordinator exactly like a node.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"streamfreq"
+	"streamfreq/internal/cluster"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8090", "listen address")
+		nodes    = flag.String("nodes", "", "comma-separated freqd base URLs (required)")
+		interval = flag.Duration("interval", time.Second, "summary pull cadence")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-node pull timeout")
+		algo     = flag.String("algo", "", "required algorithm code; empty adopts the first node's")
+	)
+	flag.Parse()
+	if *nodes == "" {
+		fatal(fmt.Errorf("-nodes is required (e.g. -nodes http://host1:8080,http://host2:8080)"))
+	}
+
+	coord, err := cluster.New(cluster.Options{
+		Nodes:        strings.Split(*nodes, ","),
+		Interval:     *interval,
+		Timeout:      *timeout,
+		Algo:         *algo,
+		MergeEncoded: streamfreq.MergeEncoded,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "freqmerge: %v, draining\n", s)
+		close(stop)
+	}()
+
+	fmt.Printf("freqmerge: aggregating %d nodes every %v on %s\n",
+		len(strings.Split(*nodes, ",")), *interval, *addr)
+	if err := coord.ListenAndServe(*addr, stop); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "freqmerge:", err)
+	os.Exit(1)
+}

@@ -58,6 +58,21 @@
 // made operational. Every registry algorithm is checkpointable; the
 // crash contract is pinned registry-wide by recovery_test.go.
 //
+// # Distributed merge
+//
+// Summaries merge: MergeEncoded(blobs...) decodes per-node Encode blobs
+// and folds them into one summary of the union stream, with each
+// algorithm's guarantee intact (the paper's X2 experiment). The cluster
+// layer (internal/cluster, cmd/freqmerge) runs this as a service: every
+// freqd node ships its state on GET /summary (a snapshot blob plus its
+// stream position and process epoch), and a coordinator pulls all of
+// them on an interval, merges, and serves the union over the node API —
+// replacement-not-addition semantics make re-pulls and WAL-recovered
+// restarts double-count-proof, unreachable nodes are served stale with
+// the staleness surfaced, and mixed-algorithm nodes are rejected.
+// Coordinators serve GET /summary themselves, so tiers stack. Merge
+// fidelity is pinned registry-wide by merge_test.go.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction results.
 package streamfreq

@@ -1,106 +1,149 @@
-// Distributed: the load-balancing scenario from the paper's introduction.
-// Four database shards each summarize their local access stream,
-// serialize the summary to bytes, and "ship" it to a coordinator, which
-// decodes and merges all four to find the globally hottest keys.
+// Distributed: the load-balancing scenario from the paper's
+// introduction, run as a real cluster on loopback HTTP. Three freqd
+// nodes each ingest their local access stream over the wire; a
+// freqmerge coordinator pulls each node's GET /summary blob, merges
+// them, and answers for the union — the full production pipeline:
 //
-// This exercises the full distributed pipeline: independent summaries →
-// wire format → decode → merge → global query.
+//	node ingest → snapshot → Encode → HTTP → Decode → Merge → global query
+//
+// The demo validates itself against internal/exact on the union stream
+// (merged Space-Saving must have perfect recall at φn) and exits
+// nonzero on a miss, so CI can run it as a smoke test.
 //
 //	go run ./examples/distributed
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/http/httptest"
 
 	"streamfreq"
+	"streamfreq/internal/cluster"
+	"streamfreq/internal/core"
 	"streamfreq/internal/exact"
+	"streamfreq/internal/serve"
+	"streamfreq/internal/stream"
 	"streamfreq/internal/zipf"
 )
 
 const (
-	shards       = 4
-	opsPerShard  = 250_000
-	phi          = 0.002
-	sketchSeed   = 31337 // every shard must use the same hash seed
-	counterScale = 1     // counters per 1/φ
+	nodes      = 3
+	opsPerNode = 250_000
+	phi        = 0.002
+	seed       = 31337 // every node must provision with the same seed
 )
 
 func main() {
 	truth := exact.New()
-	blobs := make([][]byte, 0, shards)
 
-	// --- At each shard ---------------------------------------------------
-	for shard := 0; shard < shards; shard++ {
-		// Every shard sees the same hot keys (global Zipf) plus a local
-		// suffix of shard-private keys.
-		gen, err := zipf.NewGenerator(1<<18, 1.05, 7, true) // same universe on all shards
+	// --- The nodes: real freqd serving layers on loopback ---------------
+	var urls []string
+	for i := 0; i < nodes; i++ {
+		target := core.NewConcurrent(streamfreq.MustNew("SSH", phi, seed)).ServeSnapshots(0)
+		srv := serve.NewServer(serve.Options{Target: target, Algo: "SSH"})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		urls = append(urls, ts.URL)
+
+		// Every node sees the same hot keys (global Zipf) plus a suffix
+		// of node-private keys — the load-balancer scenario.
+		gen, err := zipf.NewGenerator(1<<18, 1.05, 7, true) // same universe on all nodes
 		if err != nil {
 			log.Fatal(err)
 		}
-		local := zipf.Uniform(1<<16, uint64(1000+shard))
-
-		s := streamfreq.NewSpaceSaving(counterScale * int(1/phi))
-		for i := 0; i < opsPerShard; i++ {
-			var key streamfreq.Item
-			if i%5 == shard%5 { // 20% shard-local traffic
-				key = local.Next() | streamfreq.Item(uint64(shard+1)<<60)
+		local := zipf.Uniform(1<<16, uint64(1000+i))
+		items := make([]core.Item, opsPerNode)
+		for j := range items {
+			if j%5 == i%5 { // 20% node-local traffic
+				items[j] = local.Next() | core.Item(uint64(i+1)<<60)
 			} else {
-				key = gen.Next()
+				items[j] = gen.Next()
 			}
-			s.Update(key, 1)
-			truth.Update(key, 1)
+			truth.Update(items[j], 1)
 		}
 
-		blob, err := s.MarshalBinary()
+		// Over the wire, like production ingest.
+		resp, err := http.Post(ts.URL+"/ingest", "application/octet-stream",
+			bytes.NewReader(stream.AppendRaw(nil, items)))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("shard %d: summarized %d ops into %d bytes\n", shard, s.N(), len(blob))
-		blobs = append(blobs, blob)
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			log.Fatalf("node %d refused ingest: %s: %s", i, resp.Status, body)
+		}
+		resp.Body.Close()
+		fmt.Printf("node %d: ingested %d ops at %s\n", i, len(items), ts.URL)
 	}
 
-	// --- At the coordinator ----------------------------------------------
-	decoded := make([]streamfreq.Summary, len(blobs))
-	for i, blob := range blobs {
-		s, err := streamfreq.Decode(blob)
-		if err != nil {
-			log.Fatalf("decoding shard %d: %v", i, err)
-		}
-		decoded[i] = s
+	// --- The coordinator: freqmerge's engine over the same URLs ---------
+	coord, err := cluster.New(cluster.Options{
+		Nodes:        urls,
+		MergeEncoded: streamfreq.MergeEncoded,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	global := decoded[0]
-	for _, s := range decoded[1:] {
-		if err := global.(streamfreq.Merger).Merge(s); err != nil {
-			log.Fatal(err)
-		}
-	}
+	coord.PullAll(context.Background())
+	cs := httptest.NewServer(coord.Handler())
+	defer cs.Close()
 
-	total := global.N()
-	threshold := int64(phi * float64(total))
-	hot := global.Query(threshold)
+	// --- A client: queries the coordinator exactly like a node ----------
+	var tr struct {
+		N         int64 `json:"n"`
+		Threshold int64 `json:"threshold"`
+		Items     []struct {
+			Item  uint64 `json:"item"`
+			Count int64  `json:"count"`
+		} `json:"items"`
+	}
+	resp, err := http.Get(fmt.Sprintf("%s/topk?phi=%g", cs.URL, phi))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		log.Fatalf("coordinator /topk: %s: %s", resp.Status, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
 
 	fmt.Printf("\ncoordinator: %d total ops, %d keys above φn = %d\n\n",
-		total, len(hot), threshold)
+		tr.N, len(tr.Items), tr.Threshold)
 	fmt.Println("key                 estimate  exact")
-	for i, ic := range hot {
+	for i, ic := range tr.Items {
 		if i >= 10 {
-			fmt.Printf("... (%d more)\n", len(hot)-10)
+			fmt.Printf("... (%d more)\n", len(tr.Items)-10)
 			break
 		}
-		fmt.Printf("%#-18x  %8d  %8d\n", uint64(ic.Item), ic.Count, truth.Estimate(ic.Item))
+		fmt.Printf("%#-18x  %8d  %8d\n", ic.Item, ic.Count, truth.Estimate(core.Item(ic.Item)))
 	}
 
-	// Validation: merged Space-Saving never misses a key above φn.
-	reported := map[streamfreq.Item]bool{}
-	for _, ic := range hot {
-		reported[ic.Item] = true
+	// Validation: merged Space-Saving never misses a key above φn, and
+	// the merged stream position is exactly the union length.
+	if tr.N != int64(nodes*opsPerNode) {
+		log.Fatalf("merged n = %d, want %d", tr.N, nodes*opsPerNode)
+	}
+	reported := map[core.Item]bool{}
+	for _, ic := range tr.Items {
+		reported[core.Item(ic.Item)] = true
 	}
 	missed := 0
-	for _, tc := range truth.Query(threshold) {
+	for _, tc := range truth.Query(tr.Threshold) {
 		if !reported[tc.Item] {
 			missed++
 		}
 	}
 	fmt.Printf("\nrecall check: %d hot keys missed (must be 0)\n", missed)
+	if missed != 0 {
+		log.Fatal("distributed merge lost heavy hitters")
+	}
 }

@@ -1,0 +1,459 @@
+// Package cluster turns N freqd nodes into one logical summary: a
+// coordinator periodically pulls each node's GET /summary blob, decodes
+// and merges them through the registry Merger machinery, and serves the
+// merged state over the same query API as a single node — the paper's X2
+// merge experiment as a network service. Counter and sketch summaries
+// are mergeable with their guarantees intact, so the coordinator answers
+// frequent-items queries over the union of the node streams with the
+// per-node provisioning (same φ, same seed) and no raw-stream shipping.
+//
+// The protocol is pull-based and stateless on the nodes: every pull
+// ships a node's full cumulative state, and the coordinator replaces
+// that node's contribution wholesale — never adds to it — so re-pulls,
+// retries, and node restarts (a durable node replays its WAL and comes
+// back cumulative) cannot double-count. The node's process epoch
+// (X-Freq-Epoch) makes restarts observable: a changed epoch increments
+// the node's restart counter in /stats, and a restart that lost state
+// (no WAL) simply ships a smaller summary, which replacement handles the
+// same way.
+//
+// Failure model: a node that cannot be reached, or ships a blob that
+// does not decode, keeps its last good summary in the merge — served
+// stale, with the staleness and the error surfaced per node in /stats.
+// A node running a different algorithm is rejected with a clear error
+// and contributes nothing (merging incompatible summaries would either
+// fail or, worse, silently mix estimators).
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamfreq/internal/core"
+	"streamfreq/internal/metrics"
+	"streamfreq/internal/serve"
+)
+
+// maxSummaryBytes bounds one node's /summary body: summaries are
+// O(counters), so even generous provisioning is megabytes — a longer
+// body is a broken or hostile node, not data.
+const maxSummaryBytes = 256 << 20
+
+// Options configures a Coordinator.
+type Options struct {
+	// Nodes lists the base URLs of the freqd nodes to aggregate
+	// (required, e.g. "http://10.0.0.1:8080"). A trailing slash is
+	// tolerated.
+	Nodes []string
+	// Interval is the pull cadence of Run (default 1s).
+	Interval time.Duration
+	// Timeout bounds one node pull (default 5s).
+	Timeout time.Duration
+	// Algo, when set, is the algorithm label every node must serve
+	// (compared against the decoded summary's Name). Empty adopts the
+	// first successfully decoded summary's algorithm.
+	Algo string
+	// MergeEncoded decodes and merges registry blobs (required —
+	// streamfreq.MergeEncoded; injected so this package, like
+	// internal/persist, stays decoupled from the registry). The
+	// coordinator calls it with one blob per pull — the decode side —
+	// and folds the decoded summaries itself via Snapshotter/Merger, so
+	// nothing is decoded twice.
+	MergeEncoded func(blobs ...[]byte) (core.Summary, error)
+	// Epoch identifies this coordinator process on its own GET /summary
+	// (coordinators stack); 0 draws one from the clock.
+	Epoch uint64
+	// Client is the HTTP client for pulls (default: a fresh client;
+	// Timeout is applied per request either way).
+	Client *http.Client
+}
+
+// nodeState is the coordinator's view of one freqd node. All fields are
+// guarded by Coordinator.mu; sum is replaced wholesale on every
+// successful pull and never mutated afterwards (Merge reads its operand
+// without modifying it), so a rebuild can merge a reference to it
+// outside the lock.
+type nodeState struct {
+	url string
+
+	sum      core.Summary // last good decoded summary; nil until the first pull
+	n        int64        // its stream position
+	epoch    uint64       // node process epoch of the last good pull
+	algo     string       // its algorithm name
+	lastPull time.Time
+
+	pulls    int64
+	failures int64
+	restarts int64
+	lastErr  string // error of the most recent attempt; "" on success
+}
+
+// mergedView is one immutable published epoch of the cluster-wide
+// merge: a single summary of every node's last good state.
+type mergedView struct {
+	view    core.Summary
+	builtAt time.Time
+	fresh   int // nodes whose latest pull succeeded
+	have    int // nodes contributing (fresh or stale)
+}
+
+// Coordinator pulls, merges, and serves; see the package comment.
+type Coordinator struct {
+	nodes    []*nodeState
+	interval time.Duration
+	timeout  time.Duration
+	client   *http.Client
+	merge    func(blobs ...[]byte) (core.Summary, error)
+	epoch    uint64
+	meter    *metrics.Meter
+	start    time.Time
+
+	mu       sync.Mutex // guards nodeState fields, algo, mergeErr
+	algo     string
+	mergeErr string
+
+	// rebuildMu serializes merged-view rebuilds (the Run ticker and POST
+	// /refresh can overlap): without it, a rebuild that snapshotted older
+	// blobs could finish its merge after — and publish over — a newer
+	// view, making the served N move backward right after /refresh
+	// acknowledged the fresher state.
+	rebuildMu sync.Mutex
+
+	merged atomic.Pointer[mergedView]
+	merges atomic.Int64
+}
+
+// New validates opts and returns a Coordinator. No network traffic
+// happens until PullAll or Run.
+func New(opts Options) (*Coordinator, error) {
+	if len(opts.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: at least one node URL is required")
+	}
+	if opts.MergeEncoded == nil {
+		return nil, fmt.Errorf("cluster: Options.MergeEncoded is required (streamfreq.MergeEncoded)")
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = time.Second
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Second
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{}
+	}
+	if opts.Epoch == 0 {
+		opts.Epoch = uint64(time.Now().UnixNano())
+	}
+	c := &Coordinator{
+		interval: opts.Interval,
+		timeout:  opts.Timeout,
+		client:   opts.Client,
+		merge:    opts.MergeEncoded,
+		epoch:    opts.Epoch,
+		algo:     opts.Algo,
+		meter:    metrics.NewMeter(),
+		start:    time.Now(),
+	}
+	seen := make(map[string]bool, len(opts.Nodes))
+	for _, u := range opts.Nodes {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, fmt.Errorf("cluster: empty node URL")
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("cluster: duplicate node %s (its stream would be merged twice)", u)
+		}
+		seen[u] = true
+		c.nodes = append(c.nodes, &nodeState{url: u})
+	}
+	return c, nil
+}
+
+// pullNode fetches one node's /summary and returns the decoded summary
+// plus its wire metadata. It validates eagerly — decode errors and
+// algorithm mismatches are this node's failure, recorded against it,
+// rather than a later cluster-wide merge failure — and the decode
+// happens exactly once per pull: the summary (not the blob) is what
+// the coordinator retains and merges.
+func (c *Coordinator) pullNode(ctx context.Context, ns *nodeState) (sum core.Summary, epoch uint64, err error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ns.url+"/summary", nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, 0, fmt.Errorf("GET /summary: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, maxSummaryBytes+1))
+	if err != nil {
+		return nil, 0, fmt.Errorf("reading summary body: %w", err)
+	}
+	if len(blob) > maxSummaryBytes {
+		return nil, 0, fmt.Errorf("summary body exceeds %d bytes", maxSummaryBytes)
+	}
+	epoch, err = strconv.ParseUint(resp.Header.Get(serve.HeaderEpoch), 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("bad %s header %q", serve.HeaderEpoch, resp.Header.Get(serve.HeaderEpoch))
+	}
+
+	// The headers describe, the blob decides: position and algorithm
+	// come from the decoded summary.
+	sum, err = c.merge(blob)
+	if err != nil {
+		return nil, 0, fmt.Errorf("undecodable summary: %w", err)
+	}
+	return sum, epoch, nil
+}
+
+// PullAll performs one pull round: every node concurrently, then one
+// merged-view rebuild from the latest good blobs. It is what Run calls
+// on each tick, exposed for deterministic tests and POST /refresh.
+func (c *Coordinator) PullAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, ns := range c.nodes {
+		wg.Add(1)
+		go func(ns *nodeState) {
+			defer wg.Done()
+			sum, epoch, err := c.pullNode(ctx, ns)
+
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			if err != nil {
+				ns.failures++
+				ns.lastErr = err.Error()
+				c.meter.Add("pulls.failed", 1)
+				return
+			}
+			algo := sum.Name()
+			if c.algo == "" {
+				c.algo = algo // adopt the cluster's algorithm from the first pull
+			}
+			if algo != c.algo {
+				ns.failures++
+				ns.lastErr = fmt.Sprintf("algorithm mismatch: node serves %s, cluster is %s", algo, c.algo)
+				c.meter.Add("pulls.mismatched", 1)
+				return
+			}
+			if ns.epoch != 0 && epoch != ns.epoch {
+				// The node restarted since the last good pull. Its summary
+				// is cumulative again (durable nodes replay their WAL), so
+				// the wholesale replacement below is exactly right; the
+				// counter makes the restart visible to operators.
+				ns.restarts++
+				c.meter.Add("nodes.restarts", 1)
+			}
+			ns.sum, ns.n, ns.epoch, ns.algo = sum, sum.N(), epoch, algo
+			ns.lastPull = time.Now()
+			ns.pulls++
+			ns.lastErr = ""
+			c.meter.Add("pulls.ok", 1)
+		}(ns)
+	}
+	wg.Wait()
+	c.rebuild()
+}
+
+// rebuild merges the latest good summaries into a fresh serving view.
+// Nodes with nothing pulled yet contribute nothing; nodes whose last
+// attempt failed contribute their stale summary. The stored summaries
+// are never mutated — the merge starts from a clone of the first (one
+// Snapshot, already decoded at pull time) and Merge only reads its
+// operands — so each node's state survives for the next cycle. A merge
+// failure (same algorithm label but incompatible parameters — e.g.
+// nodes provisioned at different φ) keeps the previous view serving
+// and surfaces the error in Stats.
+func (c *Coordinator) rebuild() {
+	c.rebuildMu.Lock()
+	defer c.rebuildMu.Unlock()
+	c.mu.Lock()
+	sums := make([]core.Summary, 0, len(c.nodes))
+	fresh, have := 0, 0
+	for _, ns := range c.nodes {
+		if ns.sum == nil {
+			continue
+		}
+		sums = append(sums, ns.sum)
+		have++
+		if ns.lastErr == "" {
+			fresh++
+		}
+	}
+	c.mu.Unlock()
+
+	if len(sums) == 0 {
+		return
+	}
+	merged, err := mergeSummaries(sums)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		c.mergeErr = err.Error()
+		c.meter.Add("merges.failed", 1)
+		return
+	}
+	c.mergeErr = ""
+	c.merged.Store(&mergedView{view: merged, builtAt: time.Now(), fresh: fresh, have: have})
+	c.merges.Add(1)
+	c.meter.Add("merges.ok", 1)
+}
+
+// mergeSummaries folds the per-node summaries into one independent
+// summary, leaving the inputs untouched.
+func mergeSummaries(sums []core.Summary) (core.Summary, error) {
+	sn, ok := sums[0].(core.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("cluster: %s cannot be cloned for merging", sums[0].Name())
+	}
+	merged := sn.Snapshot()
+	if len(sums) == 1 {
+		return merged, nil
+	}
+	m, ok := merged.(core.Merger)
+	if !ok {
+		return nil, fmt.Errorf("cluster: %s does not support merging", merged.Name())
+	}
+	for i, s := range sums[1:] {
+		if err := m.Merge(s); err != nil {
+			return nil, fmt.Errorf("cluster: merging node summary %d: %w", i+1, err)
+		}
+	}
+	return merged, nil
+}
+
+// Run pulls immediately, then on every interval tick, until ctx is
+// cancelled.
+func (c *Coordinator) Run(ctx context.Context) {
+	c.PullAll(ctx)
+	t := time.NewTicker(c.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.PullAll(ctx)
+		}
+	}
+}
+
+// emptyView serves before the first successful pull: a zero-length
+// stream, exactly what a node that has ingested nothing reports.
+type emptyView struct{}
+
+func (emptyView) N() int64                     { return 0 }
+func (emptyView) Estimate(core.Item) int64     { return 0 }
+func (emptyView) Query(int64) []core.ItemCount { return nil }
+
+// ServingView returns the current merged epoch as an immutable
+// core.ReadView — the same pin-one-view-per-request contract as the
+// node wrappers' ServingView.
+func (c *Coordinator) ServingView() core.ReadView {
+	if v := c.merged.Load(); v != nil {
+		return v.view
+	}
+	return emptyView{}
+}
+
+// N implements core.ReadView over the merged state.
+func (c *Coordinator) N() int64 { return c.ServingView().N() }
+
+// Estimate implements core.ReadView over the merged state.
+func (c *Coordinator) Estimate(x core.Item) int64 { return c.ServingView().Estimate(x) }
+
+// Query implements core.ReadView over the merged state.
+func (c *Coordinator) Query(threshold int64) []core.ItemCount {
+	return c.ServingView().Query(threshold)
+}
+
+// NodeStats is one node's row in Stats.
+type NodeStats struct {
+	URL      string
+	Algo     string
+	N        int64
+	Epoch    uint64
+	Pulls    int64
+	Failures int64
+	Restarts int64
+	// HasData reports whether the node has contributed at least one
+	// good blob; Stale whether what it contributes is older than its
+	// most recent (failed) attempt.
+	HasData bool
+	Stale   bool
+	// Age is the time since the last good pull (zero when none yet).
+	Age     time.Duration
+	LastErr string
+}
+
+// Stats is the coordinator's observability snapshot, the cluster
+// section of freqmerge's /stats.
+type Stats struct {
+	Algo     string
+	Epoch    uint64
+	Nodes    []NodeStats
+	MergedN  int64
+	Merges   int64
+	MergeAge time.Duration // age of the serving merged view
+	MergeErr string
+	Fresh    int // nodes fresh in the serving view
+	Have     int // nodes contributing to the serving view
+	Uptime   time.Duration
+}
+
+// Stats reports the per-node and merged state.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	st := Stats{
+		Algo:     c.algo,
+		Epoch:    c.epoch,
+		MergeErr: c.mergeErr,
+		Uptime:   time.Since(c.start),
+	}
+	for _, ns := range c.nodes {
+		row := NodeStats{
+			URL:      ns.url,
+			Algo:     ns.algo,
+			N:        ns.n,
+			Epoch:    ns.epoch,
+			Pulls:    ns.pulls,
+			Failures: ns.failures,
+			Restarts: ns.restarts,
+			HasData:  ns.sum != nil,
+			Stale:    ns.sum != nil && ns.lastErr != "",
+			LastErr:  ns.lastErr,
+		}
+		if !ns.lastPull.IsZero() {
+			row.Age = time.Since(ns.lastPull)
+		}
+		st.Nodes = append(st.Nodes, row)
+	}
+	c.mu.Unlock()
+
+	st.Merges = c.merges.Load()
+	if v := c.merged.Load(); v != nil {
+		st.MergedN = v.view.N()
+		st.MergeAge = time.Since(v.builtAt)
+		st.Fresh, st.Have = v.fresh, v.have
+	}
+	return st
+}
+
+// Meter exposes the coordinator's traffic counters (shared with the
+// HTTP handler so /stats reports query traffic like a node does).
+func (c *Coordinator) Meter() *metrics.Meter { return c.meter }

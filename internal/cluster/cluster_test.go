@@ -1,0 +1,391 @@
+package cluster_test
+
+// Coordinator behaviour against real serve.Server nodes on loopback
+// HTTP: merge correctness over disjoint partitions, stale serving when
+// a node is unreachable, mixed-algorithm rejection, and the empty
+// before-first-pull state. The kill/recover epoch semantics get their
+// own file (e2e_test.go).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streamfreq"
+	"streamfreq/internal/cluster"
+	"streamfreq/internal/core"
+	"streamfreq/internal/serve"
+	"streamfreq/internal/stream"
+	"streamfreq/internal/zipf"
+)
+
+// swappable lets a test replace the handler behind a fixed URL — the
+// loopback stand-in for a node process dying and coming back on the
+// same host:port.
+type swappable struct {
+	h atomic.Pointer[http.Handler]
+}
+
+func (s *swappable) set(h http.Handler) { s.h.Store(&h) }
+
+func (s *swappable) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*s.h.Load()).ServeHTTP(w, r)
+}
+
+// down is the handler of a dead node: every request fails.
+func down() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "node is down", http.StatusServiceUnavailable)
+	})
+}
+
+// node spins up one in-memory freqd (algo at phi, given epoch) behind a
+// swappable handler.
+func node(t *testing.T, algo string, phi float64, epoch uint64) (*httptest.Server, *swappable, *serve.Server) {
+	t.Helper()
+	target := core.NewConcurrent(streamfreq.MustNew(algo, phi, 1)).ServeSnapshots(0)
+	srv := serve.NewServer(serve.Options{Target: target, Algo: algo, Epoch: epoch})
+	sw := &swappable{}
+	sw.set(srv.Handler())
+	return httptest.NewServer(sw), sw, srv
+}
+
+func ingest(t *testing.T, url string, items []core.Item) {
+	t.Helper()
+	resp, err := http.Post(url+"/ingest", "application/octet-stream",
+		bytes.NewReader(stream.AppendRaw(nil, items)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST %s/ingest: %s: %s", url, resp.Status, b)
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: %s: %s", url, resp.Status, b)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decoding: %v", url, err)
+	}
+}
+
+func coordinator(t *testing.T, algo string, urls ...string) *cluster.Coordinator {
+	t.Helper()
+	c, err := cluster.New(cluster.Options{
+		Nodes:        urls,
+		Algo:         algo,
+		MergeEncoded: streamfreq.MergeEncoded,
+		Epoch:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+type clusterStats struct {
+	Algo    string `json:"algo"`
+	N       int64  `json:"n"`
+	Cluster struct {
+		Nodes []struct {
+			URL      string `json:"url"`
+			Algo     string `json:"algo"`
+			N        int64  `json:"n"`
+			Epoch    uint64 `json:"epoch"`
+			Restarts int64  `json:"restarts"`
+			HasData  bool   `json:"has_data"`
+			Stale    bool   `json:"stale"`
+			Error    string `json:"error"`
+		} `json:"nodes"`
+		Merges     int64  `json:"merges"`
+		MergeError string `json:"merge_error"`
+		FreshNodes int    `json:"fresh_nodes"`
+		HaveNodes  int    `json:"have_nodes"`
+	} `json:"cluster"`
+}
+
+type topkResponse struct {
+	N         int64 `json:"n"`
+	Threshold int64 `json:"threshold"`
+	Items     []struct {
+		Item  uint64 `json:"item"`
+		Count int64  `json:"count"`
+	} `json:"items"`
+}
+
+// TestCoordinatorMergesDisjointPartitions: three nodes each ingest a
+// disjoint slice of one Zipf stream; the coordinator's merged state
+// answers for the whole stream — N is the exact total (Space-Saving
+// merge adds stream lengths) and hot-item estimates never underestimate
+// the union count.
+func TestCoordinatorMergesDisjointPartitions(t *testing.T) {
+	const phi = 0.005
+	g, err := zipf.NewGenerator(1<<14, 1.2, 0xBEEF, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := g.Stream(90_000)
+
+	var urls []string
+	for i := 0; i < 3; i++ {
+		ts, _, _ := node(t, "SSH", phi, uint64(100+i))
+		defer ts.Close()
+		// Disjoint contiguous partition of the arrival sequence.
+		lo, hi := i*len(items)/3, (i+1)*len(items)/3
+		ingest(t, ts.URL, items[lo:hi])
+		urls = append(urls, ts.URL)
+	}
+
+	c := coordinator(t, "", urls...)
+	c.PullAll(context.Background())
+
+	if got, want := c.N(), int64(len(items)); got != want {
+		t.Fatalf("merged N = %d, want %d", got, want)
+	}
+
+	// Serve the merged state over HTTP and check the node-identical API.
+	cs := httptest.NewServer(c.Handler())
+	defer cs.Close()
+	var tr topkResponse
+	getJSON(t, cs.URL+"/topk?phi=0.005", &tr)
+	if tr.N != int64(len(items)) {
+		t.Fatalf("/topk n = %d, want %d", tr.N, len(items))
+	}
+	if len(tr.Items) == 0 {
+		t.Fatal("/topk reported nothing over a Zipf stream")
+	}
+	// Space-Saving never underestimates, merged or not.
+	counts := map[core.Item]int64{}
+	for _, it := range items {
+		counts[core.Item(it)]++
+	}
+	for _, ic := range tr.Items {
+		if truth := counts[core.Item(ic.Item)]; ic.Count < truth {
+			t.Fatalf("merged estimate %d underestimates true %d (item %#x)", ic.Count, truth, ic.Item)
+		}
+	}
+
+	var st clusterStats
+	getJSON(t, cs.URL+"/stats", &st)
+	if st.Algo != "SSH" {
+		t.Fatalf("adopted algo %q, want SSH", st.Algo)
+	}
+	if st.Cluster.FreshNodes != 3 || st.Cluster.HaveNodes != 3 {
+		t.Fatalf("fresh/have = %d/%d, want 3/3", st.Cluster.FreshNodes, st.Cluster.HaveNodes)
+	}
+	for _, ns := range st.Cluster.Nodes {
+		if !ns.HasData || ns.Stale || ns.Error != "" {
+			t.Fatalf("node %s unhealthy in stats: %+v", ns.URL, ns)
+		}
+	}
+
+	// The coordinator's own /summary re-exports the merged state —
+	// clusters stack. Pull it like a higher-tier coordinator would.
+	resp, err := http.Get(cs.URL + "/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reexported, err := streamfreq.Decode(blob)
+	if err != nil {
+		t.Fatalf("decoding coordinator /summary: %v", err)
+	}
+	if reexported.N() != int64(len(items)) {
+		t.Fatalf("re-exported N = %d, want %d", reexported.N(), len(items))
+	}
+}
+
+// TestCoordinatorServesStaleOnNodeFailure: when a node dies, its last
+// good summary keeps contributing to the merge, and /stats says so.
+func TestCoordinatorServesStaleOnNodeFailure(t *testing.T) {
+	tsA, _, _ := node(t, "SSH", 0.01, 1)
+	defer tsA.Close()
+	tsB, swB, _ := node(t, "SSH", 0.01, 2)
+	defer tsB.Close()
+
+	ingest(t, tsA.URL, zipf.Sequential(1000))
+	ingest(t, tsB.URL, zipf.Sequential(500))
+
+	c := coordinator(t, "SSH", tsA.URL, tsB.URL)
+	c.PullAll(context.Background())
+	if got := c.N(); got != 1500 {
+		t.Fatalf("merged N = %d, want 1500", got)
+	}
+
+	// B dies; A keeps ingesting.
+	swB.set(down())
+	ingest(t, tsA.URL, zipf.Sequential(250))
+	c.PullAll(context.Background())
+
+	// Merged view: A fresh (1250) + B stale (500).
+	if got := c.N(); got != 1750 {
+		t.Fatalf("merged N with one stale node = %d, want 1750", got)
+	}
+	cs := httptest.NewServer(c.Handler())
+	defer cs.Close()
+	var st clusterStats
+	getJSON(t, cs.URL+"/stats", &st)
+	if st.Cluster.FreshNodes != 1 || st.Cluster.HaveNodes != 2 {
+		t.Fatalf("fresh/have = %d/%d, want 1/2", st.Cluster.FreshNodes, st.Cluster.HaveNodes)
+	}
+	var sawStale bool
+	for _, ns := range st.Cluster.Nodes {
+		if ns.URL == tsB.URL {
+			sawStale = true
+			if !ns.Stale || !ns.HasData || ns.Error == "" || ns.N != 500 {
+				t.Fatalf("dead node stats: %+v, want stale has_data n=500 with error", ns)
+			}
+		}
+	}
+	if !sawStale {
+		t.Fatal("/stats missing the dead node")
+	}
+}
+
+// TestCoordinatorRejectsMixedAlgorithms: a node serving a different
+// algorithm is excluded with a per-node error; the rest of the cluster
+// keeps serving.
+func TestCoordinatorRejectsMixedAlgorithms(t *testing.T) {
+	tsA, _, _ := node(t, "SSH", 0.01, 1)
+	defer tsA.Close()
+	tsB, _, _ := node(t, "F", 0.01, 2)
+	defer tsB.Close()
+	ingest(t, tsA.URL, zipf.Sequential(800))
+	ingest(t, tsB.URL, zipf.Sequential(600))
+
+	c := coordinator(t, "SSH", tsA.URL, tsB.URL)
+	c.PullAll(context.Background())
+
+	if got := c.N(); got != 800 {
+		t.Fatalf("merged N = %d, want 800 (the F node must contribute nothing)", got)
+	}
+	st := c.Stats()
+	var mismatched bool
+	for _, ns := range st.Nodes {
+		if ns.URL == tsB.URL {
+			if ns.HasData {
+				t.Fatalf("mismatched node has data in the merge: %+v", ns)
+			}
+			if !strings.Contains(ns.LastErr, "algorithm mismatch") {
+				t.Fatalf("mismatched node error = %q, want an algorithm mismatch", ns.LastErr)
+			}
+			mismatched = true
+		}
+	}
+	if !mismatched {
+		t.Fatal("stats missing the mismatched node")
+	}
+}
+
+// TestCoordinatorAdoptionWithMixedNodes: with no -algo configured the
+// coordinator adopts whichever algorithm it decodes first; the other
+// node is then rejected — it never silently mixes estimators.
+func TestCoordinatorAdoptionWithMixedNodes(t *testing.T) {
+	tsA, _, _ := node(t, "SSH", 0.01, 1)
+	defer tsA.Close()
+	tsB, _, _ := node(t, "F", 0.01, 2)
+	defer tsB.Close()
+	ingest(t, tsA.URL, zipf.Sequential(300))
+	ingest(t, tsB.URL, zipf.Sequential(200))
+
+	c := coordinator(t, "", tsA.URL, tsB.URL)
+	c.PullAll(context.Background())
+
+	st := c.Stats()
+	if st.Algo != "SSH" && st.Algo != "F" {
+		t.Fatalf("adopted algo %q, want one of the nodes'", st.Algo)
+	}
+	var data, rejected int
+	for _, ns := range st.Nodes {
+		if ns.HasData {
+			data++
+		}
+		if strings.Contains(ns.LastErr, "algorithm mismatch") {
+			rejected++
+		}
+	}
+	if data != 1 || rejected != 1 {
+		t.Fatalf("with mixed algos: %d nodes merged, %d rejected; want exactly 1/1 (stats: %+v)",
+			data, rejected, st.Nodes)
+	}
+}
+
+// TestCoordinatorBeforeFirstPull: an empty coordinator answers like an
+// empty node (/topk n=0) and has no /summary to export yet.
+func TestCoordinatorBeforeFirstPull(t *testing.T) {
+	c := coordinator(t, "SSH", "http://127.0.0.1:1") // nothing listens there
+	cs := httptest.NewServer(c.Handler())
+	defer cs.Close()
+
+	var tr topkResponse
+	getJSON(t, cs.URL+"/topk", &tr)
+	if tr.N != 0 || len(tr.Items) != 0 {
+		t.Fatalf("/topk before any pull: %+v, want empty", tr)
+	}
+	resp, err := http.Get(cs.URL + "/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/summary before any pull: %s, want 404", resp.Status)
+	}
+
+	// The unreachable pull records a failure without wedging anything.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	c.PullAll(ctx)
+	st := c.Stats()
+	if st.Nodes[0].Failures == 0 || st.Nodes[0].LastErr == "" {
+		t.Fatalf("unreachable node stats: %+v, want a recorded failure", st.Nodes[0])
+	}
+
+	// /ingest names the contract.
+	ir, err := http.Post(cs.URL+"/ingest", "application/octet-stream", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir.Body.Close()
+	if ir.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("POST /ingest on coordinator: %s, want 501", ir.Status)
+	}
+}
+
+// TestNewValidation: configuration errors are loud and immediate.
+func TestNewValidation(t *testing.T) {
+	if _, err := cluster.New(cluster.Options{MergeEncoded: streamfreq.MergeEncoded}); err == nil {
+		t.Fatal("New with no nodes succeeded")
+	}
+	if _, err := cluster.New(cluster.Options{Nodes: []string{"http://a:1"}}); err == nil {
+		t.Fatal("New without MergeEncoded succeeded")
+	}
+	_, err := cluster.New(cluster.Options{
+		Nodes:        []string{"http://a:1", "http://a:1/"},
+		MergeEncoded: streamfreq.MergeEncoded,
+	})
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate node URLs: err = %v, want duplicate error", err)
+	}
+}

@@ -1,0 +1,228 @@
+package cluster_test
+
+// The PR-4 acceptance scenario end to end, all on loopback HTTP:
+// freqmerge over two durable freqd nodes ingesting disjoint partitions
+// of one Zipf stream, with one node killed (no checkpoint, no clean
+// close — the store is simply abandoned) and recovered mid-run. The
+// coordinator must never double-count across the restart — the node
+// replays its WAL and comes back with cumulative state under a new
+// epoch, and the pull replaces its contribution wholesale — and the
+// final merged /topk must have recall 1 at φ·N_total against
+// internal/exact over the union stream.
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"streamfreq"
+	"streamfreq/internal/cluster"
+	"streamfreq/internal/core"
+	"streamfreq/internal/exact"
+	"streamfreq/internal/metrics"
+	"streamfreq/internal/persist"
+	"streamfreq/internal/serve"
+	"streamfreq/internal/zipf"
+)
+
+// durableNode builds one freqd life over dir: construct, recover, wire
+// the WAL, serve — exactly cmd/freqd's startup sequence.
+func durableNode(t *testing.T, dir string, phi float64, epoch uint64) (*serve.Server, *persist.Store) {
+	t.Helper()
+	target := core.NewConcurrent(streamfreq.MustNew("SSH", phi, 1))
+	store, err := persist.Open(persist.Options{
+		Dir:    dir,
+		Algo:   "SSH",
+		Fsync:  persist.FsyncAlways, // every acknowledged wire write survives the kill
+		Decode: streamfreq.Decode,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Recover(target); err != nil {
+		t.Fatalf("recover %s: %v", dir, err)
+	}
+	target.PersistTo(store)
+	target.ServeSnapshots(0)
+	return serve.NewServer(serve.Options{Target: target, Algo: "SSH", Store: store, Epoch: epoch}), store
+}
+
+func TestClusterE2EKillRecover(t *testing.T) {
+	const (
+		phi     = 0.001
+		streamN = 200_000
+		rounds  = 8
+	)
+	g, err := zipf.NewGenerator(1<<15, 1.1, 0xD00D, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := g.Stream(streamN)
+	// Disjoint partition of the arrival sequence: even-indexed arrivals
+	// to node 0, odd to node 1 (hot items land on both nodes — the
+	// interesting merge case, counts must add not max).
+	var parts [2][]core.Item
+	for i, it := range items {
+		parts[i%2] = append(parts[i%2], it)
+	}
+
+	dirs := [2]string{t.TempDir(), t.TempDir()}
+	var sws [2]*swappable
+	var urls []string
+	servers := [2]*serve.Server{}
+	for i := 0; i < 2; i++ {
+		srv, _ := durableNode(t, dirs[i], phi, uint64(1000+i))
+		servers[i] = srv
+		sws[i] = &swappable{}
+		sws[i].set(srv.Handler())
+		ts := httptest.NewServer(sws[i])
+		defer ts.Close()
+		urls = append(urls, ts.URL)
+	}
+
+	coord, err := cluster.New(cluster.Options{
+		Nodes:        urls,
+		MergeEncoded: streamfreq.MergeEncoded,
+		Epoch:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := httptest.NewServer(coord.Handler())
+	defer cs.Close()
+	ctx := context.Background()
+
+	// Ingest in rounds, pulling between them like the timer would. Node
+	// 0 is killed after round 3 (kill -9: handler swapped to down, store
+	// abandoned un-closed) and recovered after round 5; its partition's
+	// rounds 4-5 are deferred until it is back — a dead node accepts no
+	// writes.
+	share := func(p []core.Item, r int) []core.Item {
+		lo, hi := r*len(p)/rounds, (r+1)*len(p)/rounds
+		return p[lo:hi]
+	}
+	var deferred []core.Item
+	ingestedTotal := 0
+	for r := 0; r < rounds; r++ {
+		if r < 4 || r >= 6 {
+			chunk := share(parts[0], r)
+			if len(deferred) > 0 {
+				chunk = append(append([]core.Item{}, deferred...), chunk...)
+				deferred = nil
+			}
+			ingest(t, urls[0], chunk)
+			ingestedTotal += len(chunk)
+		} else {
+			deferred = append(deferred, share(parts[0], r)...)
+		}
+		ingest(t, urls[1], share(parts[1], r))
+		ingestedTotal += len(share(parts[1], r))
+
+		coord.PullAll(ctx)
+
+		switch r {
+		case 3:
+			// Kill node 0 without warning: no checkpoint, no Close.
+			sws[0].set(down())
+		case 5:
+			// Recover: a new life over the same WAL dir, same URL, new
+			// epoch — the summary it now ships is cumulative (checkpoint
+			// + WAL replay), so replacement must not double-count.
+			srv, _ := durableNode(t, dirs[0], phi, 2000)
+			sws[0].set(srv.Handler())
+		}
+	}
+	if ingestedTotal != streamN {
+		t.Fatalf("test wiring: ingested %d of %d items", ingestedTotal, streamN)
+	}
+
+	coord.PullAll(ctx)
+
+	// No double counting: the merged stream position is exactly the
+	// number of arrivals acknowledged across both nodes, despite node 0
+	// having been pulled before the kill, served stale during it, and
+	// re-pulled (cumulative) after recovery.
+	if got := coord.N(); got != int64(streamN) {
+		t.Fatalf("merged N = %d, want exactly %d (double-counted or lost across the restart)", got, streamN)
+	}
+
+	// The restart is observable: node 0's epoch changed once.
+	st := coord.Stats()
+	if st.Nodes[0].Restarts != 1 {
+		t.Fatalf("node 0 restarts = %d, want 1 (stats: %+v)", st.Nodes[0].Restarts, st.Nodes[0])
+	}
+	if st.Nodes[0].Epoch != 2000 {
+		t.Fatalf("node 0 epoch = %d, want the recovered life's 2000", st.Nodes[0].Epoch)
+	}
+	if st.Nodes[1].Restarts != 0 {
+		t.Fatalf("node 1 restarts = %d, want 0", st.Nodes[1].Restarts)
+	}
+
+	// Recall 1 at φ·N_total against exact truth on the union stream,
+	// through the coordinator's public /topk.
+	truth := exact.New()
+	for _, it := range items {
+		truth.Update(it, 1)
+	}
+	threshold := int64(phi * float64(streamN))
+	var tr topkResponse
+	getJSON(t, cs.URL+fmt.Sprintf("/topk?phi=%g", phi), &tr)
+	if tr.N != int64(streamN) || tr.Threshold != threshold {
+		t.Fatalf("/topk n=%d threshold=%d, want %d/%d", tr.N, tr.Threshold, streamN, threshold)
+	}
+	report := make([]core.ItemCount, len(tr.Items))
+	for i, it := range tr.Items {
+		report[i] = core.ItemCount{Item: core.Item(it.Item), Count: it.Count}
+	}
+	truthMap := metrics.TruthMap(truth.TopK(truth.Distinct()), threshold)
+	if acc := metrics.Evaluate(report, truthMap); acc.Recall != 1 {
+		t.Fatalf("recall at φ·N_total = %v, want perfect: %s", acc.Recall, acc)
+	}
+	// Merged Space-Saving still never underestimates: every reported
+	// count is ≥ its true union count.
+	for _, ic := range report {
+		if tru := truth.Estimate(ic.Item); ic.Count < tru {
+			t.Fatalf("merged estimate %d underestimates true %d (item %#x)", ic.Count, tru, uint64(ic.Item))
+		}
+	}
+}
+
+// TestClusterRunLoop exercises the timer path: Run pulls on its own
+// until cancelled, so a coordinator needs no manual PullAll calls.
+func TestClusterRunLoop(t *testing.T) {
+	ts, _, _ := node(t, "SSH", 0.01, 5)
+	defer ts.Close()
+	ingest(t, ts.URL, zipf.Sequential(2_000))
+
+	coord, err := cluster.New(cluster.Options{
+		Nodes:        []string{ts.URL},
+		Interval:     5 * time.Millisecond,
+		MergeEncoded: streamfreq.MergeEncoded,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go coord.Run(ctx)
+
+	deadline := time.After(5 * time.Second)
+	for coord.N() != 2_000 {
+		select {
+		case <-deadline:
+			t.Fatalf("Run never converged: merged N = %d, want 2000", coord.N())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	// More ingest is picked up by the next tick without intervention.
+	ingest(t, ts.URL, zipf.Sequential(500))
+	for coord.N() != 2_500 {
+		select {
+		case <-deadline:
+			t.Fatalf("Run never saw the second ingest: merged N = %d, want 2500", coord.N())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"streamfreq/internal/core"
+	"streamfreq/internal/serve"
+)
+
+// The coordinator's HTTP surface mirrors a node's, so clients (and
+// higher-tier coordinators) cannot tell a freqmerge from a freqd:
+//
+//	GET  /topk      identical to a node's (shared serve.QueryHandlers)
+//	GET  /estimate  identical to a node's
+//	GET  /summary   the merged summary's Encode blob — coordinators stack
+//	GET  /stats     a node's shape, plus a "cluster" section with
+//	                per-node freshness, epochs, restarts, and errors
+//	POST /refresh   pull every node now (a node's /refresh re-snapshots;
+//	                the coordinator's re-pulls — same "make reads fresh
+//	                and deterministic" contract)
+//	POST /ingest    rejected with a pointer to the nodes: the coordinator
+//	                aggregates summaries, it does not own a stream
+
+// Handler returns the coordinator's HTTP API mux.
+func (c *Coordinator) Handler() http.Handler {
+	q := &serve.QueryHandlers{View: c.ServingView, Meter: c.meter}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/topk", q.TopK)
+	mux.HandleFunc("/estimate", q.Estimate)
+	mux.HandleFunc("/summary", c.handleSummary)
+	mux.HandleFunc("/stats", c.handleStats)
+	mux.HandleFunc("/refresh", c.handleRefresh)
+	mux.HandleFunc("/ingest", c.handleIngest)
+	return mux
+}
+
+// handleSummary re-exports the merged state in the node wire format, so
+// a coordinator is itself a valid pull target: clusters fan in
+// hierarchically with no new protocol. 404 until the first good pull —
+// there is no algorithm to encode yet.
+func (c *Coordinator) handleSummary(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		serve.HTTPError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	v := c.merged.Load()
+	if v == nil {
+		serve.HTTPError(w, http.StatusNotFound, "no merged summary yet (no node has been pulled successfully)")
+		return
+	}
+	c.mu.Lock()
+	algo := c.algo
+	c.mu.Unlock()
+	c.meter.Add("summary.pulls", 1)
+	serve.WriteSummary(w, algo, c.epoch, v.view)
+}
+
+// handleStats reports the node-shaped vitals plus the cluster section.
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		serve.HTTPError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	st := c.Stats()
+	nodes := make([]map[string]any, len(st.Nodes))
+	for i, ns := range st.Nodes {
+		nodes[i] = map[string]any{
+			"url":          ns.URL,
+			"algo":         ns.Algo,
+			"n":            ns.N,
+			"epoch":        ns.Epoch,
+			"pulls":        ns.Pulls,
+			"failures":     ns.Failures,
+			"restarts":     ns.Restarts,
+			"has_data":     ns.HasData,
+			"stale":        ns.Stale,
+			"last_pull_ms": ns.Age.Milliseconds(),
+			"error":        ns.LastErr,
+		}
+	}
+	serve.WriteJSON(w, http.StatusOK, map[string]any{
+		"algo":      st.Algo,
+		"summary":   "merged",
+		"n":         st.MergedN,
+		"epoch":     st.Epoch,
+		"uptime_ms": st.Uptime.Milliseconds(),
+		"counters":  c.meter.Snapshot(),
+		"cluster": map[string]any{
+			"nodes":        nodes,
+			"merges":       st.Merges,
+			"merge_age_ms": st.MergeAge.Milliseconds(),
+			"merge_error":  st.MergeErr,
+			"fresh_nodes":  st.Fresh,
+			"have_nodes":   st.Have,
+		},
+	})
+}
+
+// handleRefresh pulls every node synchronously, so operators and tests
+// get deterministic freshness the way a node's /refresh re-snapshots.
+func (c *Coordinator) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		serve.HTTPError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	c.PullAll(r.Context())
+	c.meter.Add("refresh.forced", 1)
+	serve.WriteJSON(w, http.StatusOK, map[string]int64{"n": c.N()})
+}
+
+// handleIngest names the contract instead of silently 404ing: streams
+// are ingested at the nodes, summaries merged here.
+func (c *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
+	serve.HTTPError(w, http.StatusNotImplemented,
+		"the coordinator does not ingest; POST /ingest to a node, the merge pulls it in")
+}
+
+// ListenAndServe serves the coordinator API on addr while running the
+// pull loop, until stop is closed (or a listener error); then the pull
+// loop is cancelled and in-flight requests drain. The freqmerge command
+// is flags and signals around this.
+func (c *Coordinator) ListenAndServe(addr string, stop <-chan struct{}) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go c.Run(ctx)
+	srv := &http.Server{Addr: addr, Handler: c.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-stop:
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		return srv.Shutdown(sctx)
+	}
+}
+
+// compile-time: the coordinator is a ReadView like any node snapshot.
+var _ core.ReadView = (*Coordinator)(nil)

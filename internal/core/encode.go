@@ -1,0 +1,22 @@
+package core
+
+import (
+	"encoding"
+	"fmt"
+)
+
+// EncodeSummary serializes s through its registry wire format — the
+// snapshot-to-blob path the checkpointer (per-shard checkpoint blobs)
+// and the /summary endpoint (shipping a node snapshot to a merge
+// coordinator) share. Every registry algorithm implements
+// encoding.BinaryMarshaler; a summary without one (a custom Summary
+// outside the registry) is a clean error, not a panic, because the
+// caller is typically holding a network request or a checkpoint that
+// should fail loudly.
+func EncodeSummary(s Summary) ([]byte, error) {
+	m, ok := s.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, fmt.Errorf("core: %s has no binary encoding", s.Name())
+	}
+	return m.MarshalBinary()
+}

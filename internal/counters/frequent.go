@@ -199,6 +199,11 @@ func (f *Frequent) Merge(other core.Summary) error {
 	if !ok {
 		return core.Incompatible("Frequent: cannot merge %T", other)
 	}
+	if o.k != f.k {
+		// Same reasoning as Space-Saving: a k mismatch is a provisioning
+		// (φ) mismatch, and merging would exceed both advertised bounds.
+		return core.Incompatible("Frequent: counter budget mismatch (k=%d/%d)", f.k, o.k)
+	}
 	combined := make(map[core.Item]int64, len(f.index)+len(o.index))
 	for it, e := range f.index {
 		combined[it] = e.count - f.offset

@@ -182,6 +182,12 @@ func (s *SpaceSavingHeap) Merge(other core.Summary) error {
 	if !ok {
 		return core.Incompatible("SpaceSaving: cannot merge %T", other)
 	}
+	if o.k != s.k {
+		// Different k means different provisioning (φ): folding the
+		// smaller-k side in would silently widen the error bound past
+		// what either summary advertises.
+		return core.Incompatible("SpaceSaving: counter budget mismatch (k=%d/%d)", s.k, o.k)
+	}
 	type pair struct{ count, err int64 }
 	combined := make(map[core.Item]pair, len(s.index)+len(o.index))
 	sMin, oMin := s.Min(), o.Min()

@@ -314,3 +314,88 @@ func TestSpaceSavingListPropertyMatchesInvariant(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSpaceSavingMergeGuarantee: Merge(A, B) of either Space-Saving
+// variant must satisfy the Space-Saving invariants for the concatenated
+// stream — no underestimates, overestimates bounded by the combined
+// minimum inflation (≤ n_a/k + n_b/k) — and the two variants, which use
+// the same deterministic merge construction, must produce identical
+// threshold reports.
+func TestSpaceSavingMergeGuarantee(t *testing.T) {
+	const k = 48
+	ga, err := zipf.NewGenerator(2000, 1.1, 11, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := zipf.NewGenerator(2000, 0.9, 12, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamA, streamB := ga.Stream(30_000), gb.Stream(20_000)
+
+	truth := exact.New()
+	for _, it := range append(append([]core.Item{}, streamA...), streamB...) {
+		truth.Update(it, 1)
+	}
+
+	as, bs := ssVariants(k), ssVariants(k)
+	for _, it := range streamA {
+		for _, s := range as {
+			s.Update(it, 1)
+		}
+	}
+	for _, it := range streamB {
+		for _, s := range bs {
+			s.Update(it, 1)
+		}
+	}
+
+	var reports map[string][]core.ItemCount = map[string][]core.ItemCount{}
+	for name, a := range as {
+		if err := a.(core.Merger).Merge(bs[name]); err != nil {
+			t.Fatalf("%s: merge: %v", name, err)
+		}
+		n := int64(len(streamA) + len(streamB))
+		if a.N() != n {
+			t.Fatalf("%s: merged N = %d, want %d", name, a.N(), n)
+		}
+		// Merged min inflation bounds every estimate's overshoot; the
+		// underestimate side must still be zero.
+		maxOver := n / int64(k)
+		for _, ic := range truth.TopK(50) {
+			est := a.Estimate(ic.Item)
+			if est < ic.Count {
+				t.Fatalf("%s: merged estimate %d underestimates true %d (item %d)",
+					name, est, ic.Count, ic.Item)
+			}
+			if est > ic.Count+maxOver {
+				t.Fatalf("%s: merged estimate %d exceeds true %d + n/k %d (item %d)",
+					name, est, ic.Count, maxOver, ic.Item)
+			}
+		}
+		reports[name] = a.Query(n / int64(k+1))
+	}
+	if lh, ll := len(reports["SSH"]), len(reports["SSL"]); lh != ll {
+		t.Fatalf("merged SSH reports %d items, SSL %d", lh, ll)
+	}
+	for i, ic := range reports["SSH"] {
+		if reports["SSL"][i] != ic {
+			t.Fatalf("merged report[%d]: SSH %+v, SSL %+v", i, ic, reports["SSL"][i])
+		}
+	}
+	if l := as["SSL"].(*SpaceSavingList); !l.validate() {
+		t.Fatal("merged SSL fails structural validation")
+	}
+}
+
+// TestSpaceSavingListMergeIncompatible: the list variant rejects foreign
+// summaries (including its heap sibling — their structures don't mix).
+func TestSpaceSavingListMergeIncompatible(t *testing.T) {
+	s := NewSpaceSavingList(4)
+	if err := s.Merge(NewSpaceSavingHeap(4)); err == nil {
+		t.Fatal("SSL merged an SSH summary without error")
+	}
+	if err := s.Merge(NewFrequent(4)); err == nil {
+		t.Fatal("SSL merged a Frequent summary without error")
+	}
+}

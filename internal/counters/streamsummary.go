@@ -1,6 +1,8 @@
 package counters
 
 import (
+	"sort"
+
 	"streamfreq/internal/core"
 )
 
@@ -271,6 +273,85 @@ func (s *SpaceSavingList) Snapshot() core.Summary { return s.Clone() }
 func (s *SpaceSavingList) Bytes() int {
 	const listEntry = 2 * (8 + 8 + 8 + 8 + 8 + 8) // item, err, bucket ptr, 2 links + bucket share
 	return listEntry*s.k + s.agg.bytes()
+}
+
+// Merge combines another Stream-Summary Space-Saving into this one with
+// the same mergeable-summaries construction as SpaceSavingHeap.Merge:
+// counters for the same item sum (errors likewise), counters present on
+// one side only are inflated by the other side's Min() bound, and the k
+// largest survive. The bucket list is rebuilt in ascending count order,
+// so each attach extends the tail in O(1) and the merged structure is
+// validate-clean.
+func (s *SpaceSavingList) Merge(other core.Summary) error {
+	o, ok := other.(*SpaceSavingList)
+	if !ok {
+		return core.Incompatible("SpaceSaving: cannot merge %T", other)
+	}
+	if o.k != s.k {
+		return core.Incompatible("SpaceSaving: counter budget mismatch (k=%d/%d)", s.k, o.k)
+	}
+	type pair struct{ count, err int64 }
+	combined := make(map[core.Item]pair, len(s.index)+len(o.index))
+	sMin, oMin := s.Min(), o.Min()
+	for it, e := range s.index {
+		p := pair{e.bucket.count, e.err}
+		if oe, ok := o.index[it]; ok {
+			p.count += oe.bucket.count
+			p.err += oe.err
+		} else {
+			p.count += oMin
+			p.err += oMin
+		}
+		combined[it] = p
+	}
+	for it, oe := range o.index {
+		if _, done := combined[it]; done {
+			continue
+		}
+		combined[it] = pair{oe.bucket.count + sMin, oe.err + sMin}
+	}
+	type merged struct {
+		item       core.Item
+		count, err int64
+	}
+	all := make([]merged, 0, len(combined))
+	for it, p := range combined {
+		all = append(all, merged{it, p.count, p.err})
+	}
+	// Keep the k largest, then rebuild smallest-first so the bucket walk
+	// in attach never backtracks. Ties break by item for determinism,
+	// matching core.SortByCountDesc.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].item < all[j].item
+	})
+	if len(all) > s.k {
+		all = all[:s.k]
+	}
+	s.index = make(map[core.Item]*ssEntry, s.k)
+	s.min = nil
+	s.size = len(all)
+	var last *ssBucket
+	for i := len(all) - 1; i >= 0; i-- {
+		m := all[i]
+		e := &ssEntry{item: m.item, err: m.err}
+		if last != nil && last.count == m.count {
+			// Same count as the previous entry: link into its bucket
+			// directly (attach would search past it).
+			e.bucket = last
+			e.next = last.head
+			last.head.prev = e
+			last.head = e
+		} else {
+			s.attach(e, m.count, last)
+			last = e.bucket
+		}
+		s.index[m.item] = e
+	}
+	s.n += o.n
+	return nil
 }
 
 // buckets returns the number of live buckets; used by tests.

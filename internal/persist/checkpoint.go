@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"streamfreq/internal/core"
 )
 
 // Checkpoint file: magic "SFCKPT01", then a body of
@@ -212,11 +214,7 @@ func (st *Store) Checkpoint(target Target) (Stats, error) {
 
 	blobs := make([][]byte, len(clones))
 	for i, c := range clones {
-		m, ok := c.(interface{ MarshalBinary() ([]byte, error) })
-		if !ok {
-			return Stats{}, fmt.Errorf("persist: %s has no binary encoding; cannot checkpoint", c.Name())
-		}
-		blob, err := m.MarshalBinary()
+		blob, err := core.EncodeSummary(c)
 		if err != nil {
 			return Stats{}, fmt.Errorf("persist: encoding shard %d: %w", i, err)
 		}

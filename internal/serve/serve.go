@@ -14,6 +14,9 @@
 //	                  application/x-sfstream    an SFSTRM01 stream file
 //	GET  /topk      ?phi=0.001 (threshold φ·N) or ?threshold=123; &k= caps
 //	GET  /estimate  ?item=123 | ?item=0x7b | ?token=foo
+//	GET  /summary   the summary's registry Encode blob (a fresh snapshot),
+//	                with X-Freq-N / X-Freq-Epoch / X-Freq-Algo headers —
+//	                what a freqmerge coordinator pulls and merges
 //	GET  /stats     stream length, footprint, snapshot age, traffic
 //	                meters, and — when persistence is on — WAL and
 //	                checkpoint state
@@ -33,11 +36,8 @@ package serve
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -110,6 +110,11 @@ type Options struct {
 	// ingest once the store has latched a failure. The Target must
 	// implement persist.Target.
 	Store *persist.Store
+	// Epoch identifies this process lifetime on GET /summary; 0 (the
+	// default) draws one from the clock at startup. A coordinator uses
+	// epoch changes to detect node restarts, so an explicit value is
+	// only for tests that need determinism.
+	Epoch uint64
 }
 
 // Server is the freqd HTTP serving state: the target summary, the token
@@ -124,6 +129,8 @@ type Server struct {
 	durable  persist.Target // target as persist.Target; nil without a store
 	meter    *metrics.Meter
 	start    time.Time
+	epoch    uint64
+	queries  QueryHandlers
 
 	// names maps hashed items back to token spellings for text-mode
 	// streams, so /topk can label its report. Each text ingest builds a
@@ -150,6 +157,9 @@ func NewServer(opts Options) *Server {
 	if opts.MaxTokenNames <= 0 {
 		opts.MaxTokenNames = 1 << 16
 	}
+	if opts.Epoch == 0 {
+		opts.Epoch = uint64(time.Now().UnixNano())
+	}
 	s := &Server{
 		target:   opts.Target,
 		algo:     opts.Algo,
@@ -159,8 +169,10 @@ func NewServer(opts Options) *Server {
 		store:    opts.Store,
 		meter:    metrics.NewMeter(),
 		start:    time.Now(),
+		epoch:    opts.Epoch,
 		names:    make(map[core.Item]string),
 	}
+	s.queries = QueryHandlers{View: s.view, Name: s.lookupName, Meter: s.meter}
 	if opts.Store != nil {
 		d, ok := opts.Target.(persist.Target)
 		if !ok {
@@ -175,24 +187,13 @@ func NewServer(opts Options) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/ingest", s.handleIngest)
-	mux.HandleFunc("/topk", s.handleTopK)
-	mux.HandleFunc("/estimate", s.handleEstimate)
+	mux.HandleFunc("/topk", s.queries.TopK)
+	mux.HandleFunc("/estimate", s.queries.Estimate)
+	mux.HandleFunc("/summary", s.handleSummary)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/refresh", s.handleRefresh)
 	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	return mux
-}
-
-// writeJSON renders v; encoding failures are programming errors surfaced
-// as 500s.
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 func (s *Server) mergeNames(names map[core.Item]string) {
@@ -221,7 +222,7 @@ func (s *Server) lookupName(it core.Item) string {
 // batches through the target's UpdateBatch path.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		HTTPError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	if s.store != nil {
@@ -230,7 +231,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			// data that cannot survive a restart. Serve reads, refuse
 			// writes, page the operator.
 			s.meter.Add("ingest.rejected", 1)
-			httpError(w, http.StatusServiceUnavailable, "persistence failed, ingest disabled: %v", err)
+			HTTPError(w, http.StatusServiceUnavailable, "persistence failed, ingest disabled: %v", err)
 			return
 		}
 	}
@@ -255,7 +256,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		sr, err := stream.NewReader(body)
 		if err != nil {
 			s.meter.Add("ingest.rejected", 1)
-			httpError(w, http.StatusBadRequest, "bad stream file: %v", err)
+			HTTPError(w, http.StatusBadRequest, "bad stream file: %v", err)
 			return
 		}
 		src, errAt = sr, sr.Err
@@ -264,7 +265,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		src, errAt = rs, rs.Err
 	default:
 		s.meter.Add("ingest.rejected", 1)
-		httpError(w, http.StatusUnsupportedMediaType, "unsupported Content-Type %q", ct)
+		HTTPError(w, http.StatusUnsupportedMediaType, "unsupported Content-Type %q", ct)
 		return
 	}
 
@@ -287,124 +288,48 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// it as 413, distinct from genuinely torn data.
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge,
+			HTTPError(w, http.StatusRequestEntityTooLarge,
 				"body exceeds %d-byte ingest limit (ingested %d items); split into smaller requests", tooBig.Limit, ingested)
 			return
 		}
-		httpError(w, http.StatusBadRequest, "body truncated or corrupt after %d items: %v", ingested, err)
+		HTTPError(w, http.StatusBadRequest, "body truncated or corrupt after %d items: %v", ingested, err)
 		return
 	}
 	// Ack with the live cumulative ingest total (free, from the meter):
 	// target.N() would report the snapshot-lagged serving position — and
 	// could charge a snapshot refresh to the write path to compute it.
-	writeJSON(w, http.StatusOK, map[string]int64{
+	WriteJSON(w, http.StatusOK, map[string]int64{
 		"ingested": ingested,
 		"n":        s.meter.Get("ingest.items"),
 	})
 }
 
-// reportedItem is one /topk row.
-type reportedItem struct {
-	Item  uint64 `json:"item"`
-	Count int64  `json:"count"`
-	Token string `json:"token,omitempty"`
-}
-
-// handleTopK answers a threshold query against one pinned snapshot
-// epoch, so the n, threshold, and report of a response all describe the
-// same state.
-func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+// handleSummary ships the summary's state: a fresh snapshot (taken under
+// the ingest lock, one clone) encoded through the registry wire format,
+// with the stream position and process epoch in headers. This is the
+// cluster fan-in primitive — a freqmerge coordinator pulls it from every
+// node and merges the blobs. For a Sharded target, Snapshot() already
+// merges the per-shard clones into one summary of the node's whole
+// stream, so the wire always carries exactly one blob per node.
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		HTTPError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	q := r.URL.Query()
-	view := s.view()
-	n := view.N()
-	var threshold int64
-	switch {
-	case q.Get("threshold") != "":
-		t, err := strconv.ParseInt(q.Get("threshold"), 10, 64)
-		if err != nil || t < 1 {
-			httpError(w, http.StatusBadRequest, "threshold must be a positive integer")
-			return
-		}
-		threshold = t
-	default:
-		phiStr := q.Get("phi")
-		if phiStr == "" {
-			phiStr = "0.01"
-		}
-		phi, err := strconv.ParseFloat(phiStr, 64)
-		if err != nil || phi <= 0 || phi >= 1 {
-			httpError(w, http.StatusBadRequest, "phi must be in (0,1)")
-			return
-		}
-		threshold = int64(phi * float64(n))
-		if threshold < 1 {
-			threshold = 1
-		}
-	}
-	report := view.Query(threshold)
-	if kStr := q.Get("k"); kStr != "" {
-		k, err := strconv.Atoi(kStr)
-		if err != nil || k < 0 {
-			httpError(w, http.StatusBadRequest, "k must be a non-negative integer")
-			return
-		}
-		if k < len(report) {
-			report = report[:k]
-		}
-	}
-	items := make([]reportedItem, len(report))
-	for i, ic := range report {
-		items[i] = reportedItem{Item: uint64(ic.Item), Count: ic.Count, Token: s.lookupName(ic.Item)}
-	}
-	s.meter.Add("queries.topk", 1)
-	writeJSON(w, http.StatusOK, map[string]any{"n": n, "threshold": threshold, "items": items})
-}
-
-// parseItem accepts decimal or 0x-prefixed hex item identifiers.
-func parseItem(s string) (core.Item, error) {
-	base := 10
-	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
-		s, base = s[2:], 16
-	}
-	v, err := strconv.ParseUint(s, base, 64)
-	return core.Item(v), err
-}
-
-// handleEstimate answers a point query from the serving snapshot.
-func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
+	sn, ok := s.target.(core.Snapshotter)
+	if !ok {
+		HTTPError(w, http.StatusNotImplemented, "target %s cannot snapshot", s.target.Name())
 		return
 	}
-	q := r.URL.Query()
-	var it core.Item
-	switch {
-	case q.Get("item") != "":
-		v, err := parseItem(q.Get("item"))
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "item must be a decimal or 0x-hex uint64")
-			return
-		}
-		it = v
-	case q.Get("token") != "":
-		it = core.HashString(q.Get("token"))
-	default:
-		httpError(w, http.StatusBadRequest, "item or token parameter required")
-		return
-	}
-	s.meter.Add("queries.estimate", 1)
-	writeJSON(w, http.StatusOK, map[string]any{"item": uint64(it), "estimate": s.view().Estimate(it)})
+	s.meter.Add("summary.pulls", 1)
+	WriteSummary(w, s.algo, s.epoch, sn.Snapshot())
 }
 
 // handleStats reports serving state: the summary's vitals, snapshot
 // freshness, and traffic meters.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		HTTPError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
 	// Report the live ingest position (one locked integer read) so the
@@ -418,6 +343,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"algo":      s.algo,
 		"summary":   s.target.Name(),
 		"n":         n,
+		"epoch":     s.epoch,
 		"bytes":     s.target.Bytes(),
 		"uptime_ms": time.Since(s.start).Milliseconds(),
 		"counters":  s.meter.Snapshot(),
@@ -459,7 +385,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"checkpoint_n": ps.Recovery.CheckpointN,
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 // handleCheckpoint writes a durable checkpoint on demand — operators
@@ -467,20 +393,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // and tests use it as a deterministic durability cutover.
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		HTTPError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	if s.store == nil {
-		httpError(w, http.StatusNotImplemented, "persistence is not enabled (-data-dir)")
+		HTTPError(w, http.StatusNotImplemented, "persistence is not enabled (-data-dir)")
 		return
 	}
 	ps, err := s.store.Checkpoint(s.durable)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "checkpoint failed: %v", err)
+		HTTPError(w, http.StatusInternalServerError, "checkpoint failed: %v", err)
 		return
 	}
 	s.meter.Add("checkpoint.forced", 1)
-	writeJSON(w, http.StatusOK, map[string]int64{
+	WriteJSON(w, http.StatusOK, map[string]int64{
 		"n":     ps.LastCkptN,
 		"bytes": ps.LastCkptBytes,
 		"count": ps.Checkpoints,
@@ -492,21 +418,21 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 // staleness bound.
 func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		HTTPError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	ss, ok := s.target.(snapshotServer)
 	if !ok {
-		httpError(w, http.StatusNotImplemented, "target has no snapshot serving")
+		HTTPError(w, http.StatusNotImplemented, "target has no snapshot serving")
 		return
 	}
 	view := ss.RefreshSnapshot()
 	if view == nil {
-		httpError(w, http.StatusNotImplemented, "snapshot serving is not enabled on the target")
+		HTTPError(w, http.StatusNotImplemented, "snapshot serving is not enabled on the target")
 		return
 	}
 	s.meter.Add("snapshot.forced", 1)
-	writeJSON(w, http.StatusOK, map[string]int64{"n": view.N()})
+	WriteJSON(w, http.StatusOK, map[string]int64{"n": view.N()})
 }
 
 // ListenAndServe serves the API on addr until stop is closed (or a

@@ -325,3 +325,121 @@ func TestFreqdGracefulShutdown(t *testing.T) {
 		t.Fatal("server did not shut down")
 	}
 }
+
+// TestSummaryEndpoint: GET /summary ships a decodable registry blob of
+// the node's full state with the position and epoch headers a
+// coordinator relies on — and the blob is a consistent snapshot, so
+// decoding it and querying locally must agree with the node's own /topk.
+func TestSummaryEndpoint(t *testing.T) {
+	const epoch = 424242
+	target := core.NewConcurrent(streamfreq.MustNew("SSH", 0.01, 1)).ServeSnapshots(0)
+	srv := serve.NewServer(serve.Options{Target: target, Algo: "SSH", Epoch: epoch})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	g, err := zipf.NewGenerator(1<<12, 1.2, 99, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := g.Stream(50_000)
+	postOK(t, ts.URL+"/ingest", "application/octet-stream", stream.AppendRaw(nil, items))
+
+	resp, err := http.Get(ts.URL + "/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /summary: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != serve.SummaryContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, serve.SummaryContentType)
+	}
+	if a := resp.Header.Get(serve.HeaderAlgo); a != "SSH" {
+		t.Fatalf("%s = %q, want SSH", serve.HeaderAlgo, a)
+	}
+	if e := resp.Header.Get(serve.HeaderEpoch); e != "424242" {
+		t.Fatalf("%s = %q, want 424242", serve.HeaderEpoch, e)
+	}
+	if n := resp.Header.Get(serve.HeaderN); n != fmt.Sprint(len(items)) {
+		t.Fatalf("%s = %q, want %d", serve.HeaderN, n, len(items))
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := streamfreq.Decode(blob)
+	if err != nil {
+		t.Fatalf("decoding /summary blob: %v", err)
+	}
+	if decoded.N() != int64(len(items)) {
+		t.Fatalf("decoded blob N = %d, want %d", decoded.N(), len(items))
+	}
+
+	// The decoded summary answers exactly like the node it was pulled
+	// from: same φn report, item for item.
+	var tr topkResponse
+	getJSON(t, ts.URL+"/topk?phi=0.01", &tr)
+	local := decoded.Query(tr.Threshold)
+	if len(local) != len(tr.Items) {
+		t.Fatalf("decoded blob reports %d items, node reports %d", len(local), len(tr.Items))
+	}
+	for i, ic := range local {
+		if uint64(ic.Item) != tr.Items[i].Item || ic.Count != tr.Items[i].Count {
+			t.Fatalf("report[%d]: decoded %+v, node %+v", i, ic, tr.Items[i])
+		}
+	}
+
+	// Epoch is stable across pulls within one process lifetime.
+	resp2, err := http.Get(ts.URL + "/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if e := resp2.Header.Get(serve.HeaderEpoch); e != "424242" {
+		t.Fatalf("second pull epoch %q, want unchanged 424242", e)
+	}
+
+	// Method check mirrors the other GET endpoints.
+	pr := post(t, ts.URL+"/summary", "application/json", nil)
+	pr.Body.Close()
+	if pr.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /summary: %s, want 405", pr.Status)
+	}
+}
+
+// TestSummaryEndpointSharded: a sharded node ships one blob covering all
+// shards (Snapshot merges them), so the coordinator never needs to know
+// a node's internal shard count.
+func TestSummaryEndpointSharded(t *testing.T) {
+	target := core.NewSharded(4, func() core.Summary {
+		return streamfreq.MustNew("SSL", 0.01, 1)
+	}).ServeSnapshots(0)
+	srv := serve.NewServer(serve.Options{Target: target, Algo: "SSL"})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	g, err := zipf.NewGenerator(1<<12, 1.2, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := g.Stream(40_000)
+	postOK(t, ts.URL+"/ingest", "application/octet-stream", stream.AppendRaw(nil, items))
+
+	resp, err := http.Get(ts.URL + "/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := streamfreq.Decode(blob)
+	if err != nil {
+		t.Fatalf("decoding sharded /summary blob: %v", err)
+	}
+	if decoded.N() != int64(len(items)) || decoded.Name() != "SSL" {
+		t.Fatalf("decoded %s with N=%d, want SSL with N=%d", decoded.Name(), decoded.N(), len(items))
+	}
+}

@@ -1,0 +1,65 @@
+package streamfreq
+
+// Fuzz wall for the coordinator's trust boundary: MergeEncoded consumes
+// blobs that arrive over the network from machines the coordinator does
+// not control. Arbitrary byte pairs must never panic — forged headers,
+// truncations, and bit flips come back as errors — and two blobs that
+// individually decode to different algorithms must always be refused
+// (silently mixing estimators would corrupt every answer downstream).
+
+import (
+	"testing"
+
+	"streamfreq/internal/zipf"
+)
+
+func FuzzMergeEncoded(f *testing.F) {
+	// Seed with genuine encodings of every registry algorithm (so the
+	// fuzzer starts from deep-in-the-format corpus entries), a few
+	// cross-algorithm pairs, and classic corruptions.
+	var blobs [][]byte
+	for _, algo := range Algorithms() {
+		s := MustNew(algo, 0.02, 7)
+		UpdateAll(s, zipf.Sequential(2_000))
+		m, ok := s.(interface{ MarshalBinary() ([]byte, error) })
+		if !ok {
+			f.Fatalf("%s has no MarshalBinary", algo)
+		}
+		blob, err := m.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		blobs = append(blobs, blob)
+	}
+	for i, b := range blobs {
+		f.Add(b, blobs[(i+1)%len(blobs)]) // mixed-algorithm pairs
+		f.Add(b, b)                       // self-merge
+		if len(b) > 8 {
+			f.Add(b[:len(b)/2], b) // truncated left operand
+			flipped := append([]byte{}, b...)
+			flipped[len(flipped)-3] ^= 0x40
+			f.Add(b, flipped) // bit flip in the right operand
+		}
+	}
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte("SS01"), []byte("FQ01"))
+
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		merged, err := MergeEncoded(a, b)
+		if err != nil {
+			return // rejected cleanly — the only acceptable failure mode
+		}
+		// A successful merge must yield a usable summary.
+		_ = merged.N()
+		_ = merged.Estimate(1)
+		_ = merged.Query(1)
+
+		// If both operands decode on their own, a successful merge
+		// implies they named the same algorithm.
+		sa, errA := Decode(a)
+		sb, errB := Decode(b)
+		if errA == nil && errB == nil && sa.Name() != sb.Name() {
+			t.Fatalf("MergeEncoded combined %s with %s without error", sa.Name(), sb.Name())
+		}
+	})
+}

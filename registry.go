@@ -180,6 +180,42 @@ func SupportedMagics() []string {
 	return out
 }
 
+// MergeEncoded decodes each blob and merges them all into one summary —
+// the coordinator primitive: per-node Encode blobs in, one summary of
+// the union stream out. Every blob must decode to the same algorithm
+// with the same parameters; the first failure names the offending blob
+// by index (mixed-algorithm and parameter mismatches come back wrapping
+// ErrIncompatible). The blobs themselves are not retained, and the
+// result is independent of them: callers can merge the same stored
+// blobs again on the next cycle.
+func MergeEncoded(blobs ...[]byte) (Summary, error) {
+	if len(blobs) == 0 {
+		return nil, fmt.Errorf("streamfreq: MergeEncoded needs at least one blob")
+	}
+	merged, err := Decode(blobs[0])
+	if err != nil {
+		return nil, fmt.Errorf("streamfreq: blob 0: %w", err)
+	}
+	if len(blobs) == 1 {
+		return merged, nil
+	}
+	m, ok := merged.(Merger)
+	if !ok {
+		return nil, fmt.Errorf("streamfreq: %s does not support merging", merged.Name())
+	}
+	for i, b := range blobs[1:] {
+		s, err := Decode(b)
+		if err != nil {
+			return nil, fmt.Errorf("streamfreq: blob %d: %w", i+1, err)
+		}
+		if err := m.Merge(s); err != nil {
+			return nil, fmt.Errorf("streamfreq: merging blob %d (%s into %s): %w",
+				i+1, s.Name(), merged.Name(), err)
+		}
+	}
+	return merged, nil
+}
+
 // Decode reconstructs a serialized summary, dispatching on the blob's
 // 4-byte magic. It supports every type with a MarshalBinary method.
 func Decode(data []byte) (Summary, error) {
