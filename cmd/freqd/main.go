@@ -11,6 +11,15 @@
 //	freqd -algo SSH -phi 0.001 -addr :8080
 //	freqd -algo CM -phi 0.01 -shards 8 -staleness 250ms
 //	freqd -algo SSH -phi 0.001 -data-dir /var/lib/freqd -fsync interval -checkpoint-every 1m
+//	freqd -window 1000000 -window-blocks 10 -phi 0.001    # heavy hitters over the last 1M items
+//
+// With -window W the daemon serves *sliding-window* heavy hitters: /topk
+// and /estimate answer over (roughly) the last W items instead of the
+// whole history, ?phi= thresholds against W, and /stats gains a window
+// section (live span, slack, boundary-block coverage). Durability works
+// unchanged — checkpoints hold only the live blocks, WAL replay
+// reconstructs block boundaries — so a recovered windowed daemon is
+// bit-identical to its durable prefix, like the whole-stream modes.
 //
 // Ingest (any of):
 //
@@ -41,6 +50,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -60,19 +70,23 @@ func main() {
 		staleness = flag.Duration("staleness", 100*time.Millisecond, "query snapshot staleness bound (0 = always fresh)")
 		batch     = flag.Int("batch", 0, "ingest batch length (0 = default)")
 
+		windowLen = flag.Int("window", 0, "serve heavy hitters over the last W items instead of the whole stream (0 = whole-stream)")
+		windowB   = flag.Int("window-blocks", 8, "block count of the sliding window (W must be a multiple of it)")
+
 		dataDir    = flag.String("data-dir", "", "persistence directory (empty = in-memory only)")
 		fsyncMode  = flag.String("fsync", "interval", "WAL durability: always | interval | never")
 		fsyncEvery = flag.Duration("fsync-interval", 100*time.Millisecond, "group-commit window for -fsync interval")
 		ckptEvery  = flag.Duration("checkpoint-every", time.Minute, "periodic checkpoint cadence (0 = only POST /checkpoint and shutdown)")
+		maxLag     = flag.Int64("max-lag", 0, "shed ingest (429) once the unsynced WAL lag exceeds this many items (0 = no shedding)")
 	)
 	flag.Parse()
 
-	target, store, err := buildTarget(*algo, *phi, *seed, *shards, *staleness,
-		*dataDir, *fsyncMode, *fsyncEvery)
+	target, store, label, err := buildTarget(*algo, *phi, *seed, *shards, *staleness,
+		*windowLen, *windowB, *dataDir, *fsyncMode, *fsyncEvery)
 	if err != nil {
 		fatal(err)
 	}
-	srv := serve.NewServer(serve.Options{Target: target, Algo: *algo, IngestBatch: *batch, Store: store})
+	srv := serve.NewServer(serve.Options{Target: target, Algo: label, IngestBatch: *batch, Store: store, MaxLag: *maxLag})
 
 	stop := make(chan struct{})
 	sig := make(chan os.Signal, 1)
@@ -87,7 +101,10 @@ func main() {
 		go checkpointLoop(store, target.(persist.Target), *ckptEvery, stop)
 	}
 
-	fmt.Printf("freqd: serving %s (phi=%g, shards=%d, staleness=%v", *algo, *phi, *shards, *staleness)
+	fmt.Printf("freqd: serving %s (phi=%g, shards=%d, staleness=%v", label, *phi, *shards, *staleness)
+	if *windowLen > 0 {
+		fmt.Printf(", window=%d/%d blocks", *windowLen, *windowB)
+	}
 	if store != nil {
 		fmt.Printf(", data-dir=%s, fsync=%s", *dataDir, *fsyncMode)
 	}
@@ -127,25 +144,50 @@ func checkpointLoop(store *persist.Store, target persist.Target, every time.Dura
 }
 
 // buildTarget wraps a registry summary for serving: Sharded across
-// power-of-two shards when asked, plain Concurrent otherwise. With a
-// data directory it also opens the durability layer in the startup
-// order recovery requires — construct, recover, wire the WAL, then
-// enable snapshot serving.
+// power-of-two shards when asked, plain Concurrent otherwise; with
+// -window set, the summary is the sliding-window Space-Saving ("SSW")
+// and queries answer over the last W items. With a data directory it
+// also opens the durability layer in the startup order recovery
+// requires — construct, recover, wire the WAL, then enable snapshot
+// serving. The returned label is the effective algorithm name — the
+// -algo code, or "SSW" in windowed mode — and is the single source for
+// both the serving layer's Algo and the checkpoint's mode-exclusive
+// algo stamp.
 func buildTarget(algo string, phi float64, seed uint64, shards int, staleness time.Duration,
-	dataDir, fsyncMode string, fsyncEvery time.Duration) (serve.Target, *persist.Store, error) {
+	windowLen, windowBlocks int, dataDir, fsyncMode string, fsyncEvery time.Duration) (serve.Target, *persist.Store, string, error) {
 	if _, err := streamfreq.New(algo, phi, seed); err != nil {
-		return nil, nil, err // validate algo/phi before wrapping
+		return nil, nil, "", err // validate algo/phi before wrapping
 	}
 	if shards <= 0 || shards&(shards-1) != 0 {
-		return nil, nil, fmt.Errorf("-shards must be a positive power of two, got %d", shards)
+		return nil, nil, "", fmt.Errorf("-shards must be a positive power of two, got %d", shards)
 	}
 
+	label := algo
 	var durable persist.Target
-	if shards > 1 {
+	switch {
+	case windowLen > 0:
+		// Windowed serving: block-decomposed Space-Saving over the last
+		// W items. The window is one summary with internal blocks, so it
+		// is served single-shard (sharding would give each shard its own
+		// last-W-of-substream, a different question); -algo must stay on
+		// the Space-Saving default the blocks are built from.
+		if !strings.EqualFold(algo, "SSH") {
+			return nil, nil, "", fmt.Errorf("-window serves block-decomposed Space-Saving; drop -algo %s (or set SSH)", algo)
+		}
+		if shards != 1 {
+			return nil, nil, "", fmt.Errorf("-window is single-shard; drop -shards %d", shards)
+		}
+		win, err := streamfreq.NewWindowedForPhi(phi, windowLen, windowBlocks)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		label = "SSW" // a windowed data dir never restores into a flat summary
+		durable = core.NewConcurrent(win)
+	case shards > 1:
 		durable = core.NewSharded(shards, func() core.Summary {
 			return streamfreq.MustNew(algo, phi, seed)
 		})
-	} else {
+	default:
 		durable = core.NewConcurrent(streamfreq.MustNew(algo, phi, seed))
 	}
 
@@ -153,21 +195,21 @@ func buildTarget(algo string, phi float64, seed uint64, shards int, staleness ti
 	if dataDir != "" {
 		policy, err := persist.ParseFsyncPolicy(fsyncMode)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, "", err
 		}
 		store, err = persist.Open(persist.Options{
 			Dir:           dataDir,
-			Algo:          algo,
+			Algo:          label,
 			Fsync:         policy,
 			FsyncInterval: fsyncEvery,
 			Decode:        streamfreq.Decode,
 		})
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, "", err
 		}
 		stats, err := store.Recover(durable)
 		if err != nil {
-			return nil, nil, fmt.Errorf("recovering %s: %w", dataDir, err)
+			return nil, nil, "", fmt.Errorf("recovering %s: %w", dataDir, err)
 		}
 		fmt.Printf("freqd: recovered n=%d (checkpoint n=%d + %d WAL records", stats.RecoveredN, stats.CheckpointN, stats.ReplayedRecords)
 		if stats.TruncatedBytes > 0 {
@@ -179,9 +221,9 @@ func buildTarget(algo string, phi float64, seed uint64, shards int, staleness ti
 
 	switch t := durable.(type) {
 	case *core.Sharded:
-		return t.ServeSnapshots(staleness), store, nil
+		return t.ServeSnapshots(staleness), store, label, nil
 	default:
-		return durable.(*core.Concurrent).ServeSnapshots(staleness), store, nil
+		return durable.(*core.Concurrent).ServeSnapshots(staleness), store, label, nil
 	}
 }
 

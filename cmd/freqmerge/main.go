@@ -18,7 +18,9 @@
 //	curl -X POST localhost:8090/refresh  # pull every node now
 //
 // Semantics under failure: an unreachable node keeps serving its last
-// pulled summary (stale, surfaced in /stats); a restarted node is
+// pulled summary (stale, surfaced in /stats) — unless -max-stale bounds
+// the staleness, past which the node's contribution is dropped from the
+// merge (and the merged N) until a pull succeeds again; a restarted node is
 // detected by its changed epoch and its summary replaced wholesale —
 // durable nodes replay their WAL and come back cumulative, so nothing
 // is ever double-counted; a node running a different algorithm is
@@ -48,6 +50,7 @@ func main() {
 		interval = flag.Duration("interval", time.Second, "summary pull cadence")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-node pull timeout")
 		algo     = flag.String("algo", "", "required algorithm code; empty adopts the first node's")
+		maxStale = flag.Duration("max-stale", 0, "drop a node's contribution once its data is older than this (0 = serve stale forever)")
 	)
 	flag.Parse()
 	if *nodes == "" {
@@ -59,6 +62,7 @@ func main() {
 		Interval:     *interval,
 		Timeout:      *timeout,
 		Algo:         *algo,
+		MaxStale:     *maxStale,
 		MergeEncoded: streamfreq.MergeEncoded,
 	})
 	if err != nil {

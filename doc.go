@@ -58,6 +58,23 @@
 // made operational. Every registry algorithm is checkpointable; the
 // crash contract is pinned registry-wide by recovery_test.go.
 //
+// # Windowed serving
+//
+// The sliding-window summary (NewWindowed, "SSW") answers the
+// recent-past form of the question: heavy hitters over roughly the
+// last W arrivals, via B blocks of Space-Saving summaries whose oldest
+// block expires as the window slides. It implements the full summary
+// contract — batched ingest split at block boundaries, deep-copy
+// snapshots, the WN01 wire format, and recency-aligned merging — so
+// the same serving, durability, and cluster machinery carries it:
+// freqd -window serves /topk at the φ·W operating point, checkpoints
+// hold only the live blocks (durable state is O(W) forever, and a
+// recovered window is bit-identical to its durable prefix), and a
+// coordinator over windowed nodes merges the cluster's recent traffic.
+// Estimates are one-sided, overestimating by at most the advertised
+// Slack (εW of per-block error plus one boundary block of expired
+// items).
+//
 // # Distributed merge
 //
 // Summaries merge: MergeEncoded(blobs...) decodes per-node Encode blobs

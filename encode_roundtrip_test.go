@@ -39,6 +39,16 @@ func roundTripStream(t testing.TB) [][]Item {
 	return batches
 }
 
+// mustWindowedSummary builds the windowed summary for the wall's extra
+// cases; the geometry is static and valid, so errors are test bugs.
+func mustWindowedSummary(size, blocks, k int) Summary {
+	w, err := NewWindowed(size, blocks, k)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
 func marshal(t *testing.T, label string, s Summary) []byte {
 	t.Helper()
 	m, ok := s.(interface{ MarshalBinary() ([]byte, error) })
@@ -71,12 +81,29 @@ func TestEncodeDeterministicRegistry(t *testing.T) {
 			}
 		})
 	}
+	// The windowed summary sits outside the factories roster (it is
+	// provisioned by geometry, not φ alone), so its determinism leg is
+	// pinned here explicitly with the same batch schedule.
+	t.Run("Windowed", func(t *testing.T) {
+		a := mustWindowedSummary(8192, 8, 201)
+		b := mustWindowedSummary(8192, 8, 201)
+		for _, batch := range batches {
+			UpdateAll(a, batch)
+			UpdateAll(b, batch)
+		}
+		if !bytes.Equal(marshal(t, "SSW", a), marshal(t, "SSW", b)) {
+			t.Fatal("SSW: identically-fed windowed summaries marshal to different bytes")
+		}
+	})
 }
 
-// TestEncodeRoundTripNewFormats: the SL01 and TK01 formats decode to a
-// summary that re-encodes byte-identically and stays in lockstep with
-// the original through further ingest — the exact situation of a
-// checkpoint restore that keeps consuming the stream.
+// TestEncodeRoundTripNewFormats: the SL01, TK01, and WN01 formats
+// decode to a summary that re-encodes byte-identically and stays in
+// lockstep with the original through further ingest — the exact
+// situation of a checkpoint restore that keeps consuming the stream.
+// For the windowed summary the lockstep half is the expiring-block
+// durability contract in miniature: the restored ring must keep
+// rotating on the same boundaries the original does.
 func TestEncodeRoundTripNewFormats(t *testing.T) {
 	cases := []struct {
 		name string
@@ -85,6 +112,7 @@ func TestEncodeRoundTripNewFormats(t *testing.T) {
 		{"SSL", func() Summary { return NewSpaceSavingList(201) }},
 		{"Tracked-CM", func() Summary { return NewTracked(NewCountMin(4, 512, 7), 128) }},
 		{"Tracked-CS", func() Summary { return NewTracked(NewCountSketch(5, 512, 7), 128) }},
+		{"Windowed", func() Summary { return mustWindowedSummary(8192, 8, 201) }},
 	}
 	batches := roundTripStream(t)
 	half := len(batches) / 2

@@ -1,0 +1,186 @@
+// Windowed serving: the "trending now" scenario from the paper's
+// applications, end to end through freqd's serving stack. Two servers
+// ingest the same shifting stream over real HTTP — one serving
+// whole-stream heavy hitters (SSH), one serving the last W items
+// (-window, the block-decomposed sliding window) — and a breaking-news
+// query that takes over the traffic mid-stream shows the difference:
+// the windowed /topk surfaces it within one window and drops
+// yesterday's hit, while the whole-stream /topk is still dominated by
+// accumulated history.
+//
+// The demo validates itself and exits nonzero on any failure:
+// the windowed report must have recall 1 at the φ·W operating point
+// against exact counts of the final window, must not report the expired
+// query, and the whole-stream report must still carry it (the lag).
+//
+//	go run ./examples/windowed
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"streamfreq"
+	"streamfreq/internal/core"
+	"streamfreq/internal/serve"
+	"streamfreq/internal/stream"
+	"streamfreq/internal/trace"
+)
+
+const (
+	phi        = 0.01
+	windowSize = 100_000
+	blocks     = 10
+)
+
+func main() {
+	// A windowed freqd and a whole-stream freqd, same φ provisioning.
+	win, err := streamfreq.NewWindowedForPhi(phi, windowSize, blocks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	windowed := serveTarget(core.NewConcurrent(win).ServeSnapshots(50*time.Millisecond), "SSW")
+	whole := serveTarget(core.NewConcurrent(streamfreq.MustNew("SSH", phi, 1)).
+		ServeSnapshots(50*time.Millisecond), "SSH")
+
+	// The stream: background search traffic with "yesterday's hit" at 5%
+	// for three windows, then the breaking query takes its place for a
+	// bit over one window (the window plus its boundary block).
+	gen, err := trace.NewHTTP(trace.DefaultHTTPConfig(77))
+	if err != nil {
+		log.Fatal(err)
+	}
+	yesterday := streamfreq.HashString("celebrity wedding photos")
+	breaking := streamfreq.HashString("solar eclipse live")
+	var items []core.Item
+	for i := 0; i < 3*windowSize; i++ {
+		if i%20 == 0 {
+			items = append(items, yesterday)
+		} else {
+			items = append(items, gen.Next())
+		}
+	}
+	phase2 := windowSize + windowSize/blocks + 5_000
+	for i := 0; i < phase2; i++ {
+		if i%20 == 0 {
+			items = append(items, breaking)
+		} else {
+			items = append(items, gen.Next())
+		}
+	}
+
+	for _, url := range []string{windowed, whole} {
+		post(url+"/ingest", stream.AppendRaw(nil, items))
+		post(url+"/refresh", nil)
+	}
+
+	winReport := topk(windowed)
+	wholeReport := topk(whole)
+	fmt.Printf("after the shift (n=%d total, last %d items are breaking-news traffic):\n", len(items), phase2)
+	fmt.Printf("  windowed /topk?phi=%g    (n=%d): %s\n", phi, winReport.N, describe(winReport, yesterday, breaking))
+	fmt.Printf("  whole-stream /topk?phi=%g (n=%d): %s\n", phi, wholeReport.N, describe(wholeReport, yesterday, breaking))
+
+	// --- Validation -------------------------------------------------------
+	// 1. The windowed threshold is φ·W, not φ·total.
+	if winReport.N != windowSize {
+		log.Fatalf("windowed /topk n = %d, want W=%d", winReport.N, windowSize)
+	}
+	// 2. Recall 1 at φ·W against exact counts of the final window.
+	exactWin := map[core.Item]int64{}
+	for _, it := range items[len(items)-windowSize:] {
+		exactWin[it]++
+	}
+	reported := map[core.Item]bool{}
+	for _, r := range winReport.Items {
+		reported[core.Item(r.Item)] = true
+	}
+	threshold := int64(phi * windowSize)
+	for it, c := range exactWin {
+		if c >= threshold && !reported[it] {
+			log.Fatalf("recall failure: item %#x has %d ≥ φ·W=%d occurrences in the final window but is not reported", uint64(it), c, threshold)
+		}
+	}
+	// 3. The windowed view tracks the shift: breaking in, yesterday out.
+	if !reported[breaking] {
+		log.Fatal("windowed report missed the breaking query")
+	}
+	if reported[yesterday] {
+		log.Fatal("windowed report still carries the expired query")
+	}
+	// 4. The whole-stream view lags: three windows of accumulated mass
+	// keep yesterday's hit above φ·total.
+	wholeHas := map[core.Item]bool{}
+	for _, r := range wholeReport.Items {
+		wholeHas[core.Item(r.Item)] = true
+	}
+	if !wholeHas[yesterday] {
+		log.Fatal("whole-stream report dropped yesterday's hit — the demo premise broke")
+	}
+	fmt.Println("OK: windowed top-k tracks the recent hot set; whole-stream top-k lags as expected")
+}
+
+// serveTarget starts one in-process freqd on a loopback port.
+func serveTarget(target serve.Target, algo string) string {
+	srv := serve.NewServer(serve.Options{Target: target, Algo: algo})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := http.Serve(ln, srv.Handler()); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	return "http://" + ln.Addr().String()
+}
+
+type topkReport struct {
+	N     int64 `json:"n"`
+	Items []struct {
+		Item  uint64 `json:"item"`
+		Count int64  `json:"count"`
+	} `json:"items"`
+}
+
+func topk(url string) topkReport {
+	resp, err := http.Get(fmt.Sprintf("%s/topk?phi=%g&k=20", url, phi))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out topkReport
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	return out
+}
+
+func post(url string, body []byte) {
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: %s", url, resp.Status)
+	}
+}
+
+// describe renders a report as a one-line story.
+func describe(r topkReport, yesterday, breaking core.Item) string {
+	var y, b int64
+	for _, it := range r.Items {
+		switch core.Item(it.Item) {
+		case yesterday:
+			y = it.Count
+		case breaking:
+			b = it.Count
+		}
+	}
+	return fmt.Sprintf("%d items; yesterday=%d breaking=%d", len(r.Items), y, b)
+}

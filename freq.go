@@ -1,6 +1,8 @@
 package streamfreq
 
 import (
+	"fmt"
+
 	"streamfreq/internal/core"
 	"streamfreq/internal/counters"
 	"streamfreq/internal/quantile"
@@ -177,6 +179,26 @@ func NewSharded(shards int, factory func() Summary) *core.Sharded {
 // each (extension; see internal/window).
 func NewWindow(size, blocks, k int) (*window.Window, error) {
 	return window.New(size, blocks, k)
+}
+
+// NewWindowed returns the sliding window lifted to the full summary
+// contract ("SSW"): Summary + BatchUpdater + Snapshotter + Merger with
+// the WN01 wire format, so it serves, checkpoints, recovers, and merges
+// through the same machinery as the whole-stream summaries. size must
+// be a multiple of blocks.
+func NewWindowed(size, blocks, k int) (*window.Windowed, error) {
+	return window.NewWindowed(size, blocks, k)
+}
+
+// NewWindowedForPhi provisions a windowed summary for threshold phi
+// over the last size items with blocks blocks: each block gets the
+// canonical counter budget k = ⌈1/φ⌉, the same equal-guarantee sizing
+// the registry applies to the flat counter summaries.
+func NewWindowedForPhi(phi float64, size, blocks int) (*window.Windowed, error) {
+	if phi <= 0 || phi >= 1 {
+		return nil, fmt.Errorf("streamfreq: phi must be in (0,1), got %g", phi)
+	}
+	return window.NewWindowed(size, blocks, kForPhi(phi))
 }
 
 // NewQuantile returns a Greenwald–Khanna ε-approximate quantile summary,

@@ -19,10 +19,21 @@
 //
 // Failure model: a node that cannot be reached, or ships a blob that
 // does not decode, keeps its last good summary in the merge — served
-// stale, with the staleness and the error surfaced per node in /stats.
-// A node running a different algorithm is rejected with a clear error
-// and contributes nothing (merging incompatible summaries would either
-// fail or, worse, silently mix estimators).
+// stale, with the staleness and the error surfaced per node in /stats —
+// unless Options.MaxStale bounds the staleness, in which case the node's
+// contribution is dropped (reflected in /stats and the merged N) until a
+// pull succeeds again: partial-but-fresh for consumers that prefer it
+// over complete-but-stale. A node running a different algorithm is
+// rejected with a clear error and contributes nothing (merging
+// incompatible summaries would either fail or, worse, silently mix
+// estimators).
+//
+// Windowed nodes (freqd -window) merge like any other: their WN01 blobs
+// decode to window.Windowed, whose Merge unions the nodes' recent
+// windows block-by-block aligned by recency, so a coordinator over
+// windowed nodes serves cluster-wide *recent* heavy hitters. Geometry
+// mismatches (different W, B, or k) are per-merge errors like any
+// parameter mismatch.
 package cluster
 
 import (
@@ -60,6 +71,18 @@ type Options struct {
 	// (compared against the decoded summary's Name). Empty adopts the
 	// first successfully decoded summary's algorithm.
 	Algo string
+	// MaxStale, when positive, is the freshness SLO: a node whose last
+	// good pull is older than this stops contributing to the merged view
+	// (dropped, not served stale), for consumers that prefer partial-
+	// but-fresh over complete-but-stale. The drop is surfaced per node
+	// in Stats and reflected in the merged N; the node's state is kept,
+	// so it rejoins the merge the moment a pull succeeds again. The
+	// bound is evaluated at each rebuild (every Interval tick and every
+	// /refresh), so a contribution can overshoot it by at most one
+	// Interval before it leaves the serving view — size MaxStale with
+	// that slack in mind. 0 (the default) serves stale contributions
+	// indefinitely.
+	MaxStale time.Duration
 	// MergeEncoded decodes and merges registry blobs (required —
 	// streamfreq.MergeEncoded; injected so this package, like
 	// internal/persist, stays decoupled from the registry). The
@@ -93,15 +116,20 @@ type nodeState struct {
 	failures int64
 	restarts int64
 	lastErr  string // error of the most recent attempt; "" on success
+	dropped  bool   // excluded from the last rebuild by the -max-stale bound
 }
 
 // mergedView is one immutable published epoch of the cluster-wide
-// merge: a single summary of every node's last good state.
+// merge: a single summary of every node's last good state. view is nil
+// when every known contribution was dropped by the freshness SLO — the
+// coordinator then serves the empty stream, exactly like before the
+// first pull.
 type mergedView struct {
 	view    core.Summary
 	builtAt time.Time
 	fresh   int // nodes whose latest pull succeeded
 	have    int // nodes contributing (fresh or stale)
+	dropped int // nodes with data excluded by the -max-stale bound
 }
 
 // Coordinator pulls, merges, and serves; see the package comment.
@@ -109,6 +137,7 @@ type Coordinator struct {
 	nodes    []*nodeState
 	interval time.Duration
 	timeout  time.Duration
+	maxStale time.Duration
 	client   *http.Client
 	merge    func(blobs ...[]byte) (core.Summary, error)
 	epoch    uint64
@@ -154,6 +183,7 @@ func New(opts Options) (*Coordinator, error) {
 	c := &Coordinator{
 		interval: opts.Interval,
 		timeout:  opts.Timeout,
+		maxStale: opts.MaxStale,
 		client:   opts.Client,
 		merge:    opts.MergeEncoded,
 		epoch:    opts.Epoch,
@@ -284,9 +314,21 @@ func (c *Coordinator) rebuild() {
 	defer c.rebuildMu.Unlock()
 	c.mu.Lock()
 	sums := make([]core.Summary, 0, len(c.nodes))
-	fresh, have := 0, 0
+	fresh, have, dropped := 0, 0, 0
 	for _, ns := range c.nodes {
+		ns.dropped = false
 		if ns.sum == nil {
+			continue
+		}
+		if c.maxStale > 0 && time.Since(ns.lastPull) > c.maxStale {
+			// Past the freshness SLO: partial-but-fresh beats complete-
+			// but-stale, so this node's last good state sits out the
+			// merge (and the merged N) until a pull succeeds again. The
+			// flag is set here, at rebuild time, so the per-node rows
+			// and the cluster counters in /stats describe the same
+			// serving view.
+			ns.dropped = true
+			dropped++
 			continue
 		}
 		sums = append(sums, ns.sum)
@@ -298,6 +340,18 @@ func (c *Coordinator) rebuild() {
 	c.mu.Unlock()
 
 	if len(sums) == 0 {
+		if dropped > 0 {
+			// Every known contribution is over the bound: publish the
+			// empty state rather than keep serving data the SLO forbids.
+			// Any earlier merge error is superseded by this (successful,
+			// if vacuous) rebuild.
+			c.mu.Lock()
+			c.mergeErr = ""
+			c.mu.Unlock()
+			c.merged.Store(&mergedView{builtAt: time.Now(), dropped: dropped})
+			c.merges.Add(1)
+			c.meter.Add("merges.ok", 1)
+		}
 		return
 	}
 	merged, err := mergeSummaries(sums)
@@ -309,7 +363,7 @@ func (c *Coordinator) rebuild() {
 		return
 	}
 	c.mergeErr = ""
-	c.merged.Store(&mergedView{view: merged, builtAt: time.Now(), fresh: fresh, have: have})
+	c.merged.Store(&mergedView{view: merged, builtAt: time.Now(), fresh: fresh, have: have, dropped: dropped})
 	c.merges.Add(1)
 	c.meter.Add("merges.ok", 1)
 }
@@ -363,9 +417,11 @@ func (emptyView) Query(int64) []core.ItemCount { return nil }
 
 // ServingView returns the current merged epoch as an immutable
 // core.ReadView — the same pin-one-view-per-request contract as the
-// node wrappers' ServingView.
+// node wrappers' ServingView. Before the first good pull, and when the
+// freshness SLO has dropped every contribution, it serves the empty
+// stream.
 func (c *Coordinator) ServingView() core.ReadView {
-	if v := c.merged.Load(); v != nil {
+	if v := c.merged.Load(); v != nil && v.view != nil {
 		return v.view
 	}
 	return emptyView{}
@@ -393,9 +449,13 @@ type NodeStats struct {
 	Restarts int64
 	// HasData reports whether the node has contributed at least one
 	// good blob; Stale whether what it contributes is older than its
-	// most recent (failed) attempt.
+	// most recent (failed) attempt; Dropped whether the freshness SLO
+	// (-max-stale) excluded its contribution at the last rebuild — the
+	// same rebuild the cluster-level Fresh/Have/Dropped counters and
+	// the serving view describe.
 	HasData bool
 	Stale   bool
+	Dropped bool
 	// Age is the time since the last good pull (zero when none yet).
 	Age     time.Duration
 	LastErr string
@@ -411,8 +471,10 @@ type Stats struct {
 	Merges   int64
 	MergeAge time.Duration // age of the serving merged view
 	MergeErr string
-	Fresh    int // nodes fresh in the serving view
-	Have     int // nodes contributing to the serving view
+	Fresh    int           // nodes fresh in the serving view
+	Have     int           // nodes contributing to the serving view
+	Dropped  int           // nodes excluded from the serving view by -max-stale
+	MaxStale time.Duration // the freshness SLO (0 = serve stale forever)
 	Uptime   time.Duration
 }
 
@@ -423,6 +485,7 @@ func (c *Coordinator) Stats() Stats {
 		Algo:     c.algo,
 		Epoch:    c.epoch,
 		MergeErr: c.mergeErr,
+		MaxStale: c.maxStale,
 		Uptime:   time.Since(c.start),
 	}
 	for _, ns := range c.nodes {
@@ -436,6 +499,7 @@ func (c *Coordinator) Stats() Stats {
 			Restarts: ns.restarts,
 			HasData:  ns.sum != nil,
 			Stale:    ns.sum != nil && ns.lastErr != "",
+			Dropped:  ns.dropped,
 			LastErr:  ns.lastErr,
 		}
 		if !ns.lastPull.IsZero() {
@@ -447,9 +511,11 @@ func (c *Coordinator) Stats() Stats {
 
 	st.Merges = c.merges.Load()
 	if v := c.merged.Load(); v != nil {
-		st.MergedN = v.view.N()
+		if v.view != nil {
+			st.MergedN = v.view.N()
+		}
 		st.MergeAge = time.Since(v.builtAt)
-		st.Fresh, st.Have = v.fresh, v.have
+		st.Fresh, st.Have, st.Dropped = v.fresh, v.have, v.dropped
 	}
 	return st
 }

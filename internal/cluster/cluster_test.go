@@ -113,12 +113,14 @@ type clusterStats struct {
 			Restarts int64  `json:"restarts"`
 			HasData  bool   `json:"has_data"`
 			Stale    bool   `json:"stale"`
+			Dropped  bool   `json:"dropped"`
 			Error    string `json:"error"`
 		} `json:"nodes"`
-		Merges     int64  `json:"merges"`
-		MergeError string `json:"merge_error"`
-		FreshNodes int    `json:"fresh_nodes"`
-		HaveNodes  int    `json:"have_nodes"`
+		Merges       int64  `json:"merges"`
+		MergeError   string `json:"merge_error"`
+		FreshNodes   int    `json:"fresh_nodes"`
+		HaveNodes    int    `json:"have_nodes"`
+		DroppedNodes int    `json:"dropped_nodes"`
 	} `json:"cluster"`
 }
 
@@ -387,5 +389,207 @@ func TestNewValidation(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "duplicate") {
 		t.Fatalf("duplicate node URLs: err = %v, want duplicate error", err)
+	}
+}
+
+// TestCoordinatorFreshnessSLO: with -max-stale set, a stalled node's
+// contribution is dropped from the merge (and the merged N) once its
+// data is older than the bound, surfaced in /stats — and rejoins the
+// moment a pull succeeds again.
+func TestCoordinatorFreshnessSLO(t *testing.T) {
+	const maxStale = 80 * time.Millisecond
+	tsA, _, _ := node(t, "SSH", 0.01, 1)
+	defer tsA.Close()
+	tsB, swB, srvB := node(t, "SSH", 0.01, 2)
+	defer tsB.Close()
+	ingest(t, tsA.URL, zipf.Sequential(1000))
+	ingest(t, tsB.URL, zipf.Sequential(500))
+
+	c, err := cluster.New(cluster.Options{
+		Nodes:        []string{tsA.URL, tsB.URL},
+		Algo:         "SSH",
+		MaxStale:     maxStale,
+		MergeEncoded: streamfreq.MergeEncoded,
+		Epoch:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PullAll(context.Background())
+	if got := c.N(); got != 1500 {
+		t.Fatalf("merged N = %d, want 1500 (both nodes fresh)", got)
+	}
+
+	// B stalls. Until the bound passes, its last good state still
+	// contributes; once past it, the contribution is dropped.
+	swB.set(down())
+	c.PullAll(context.Background())
+	if got := c.N(); got != 1500 {
+		t.Fatalf("merged N = %d immediately after the stall, want 1500 (still within -max-stale)", got)
+	}
+	time.Sleep(maxStale + 50*time.Millisecond)
+	ingest(t, tsA.URL, zipf.Sequential(250))
+	c.PullAll(context.Background())
+	if got := c.N(); got != 1250 {
+		t.Fatalf("merged N = %d with the stalled node past -max-stale, want 1250 (A only)", got)
+	}
+
+	cs := httptest.NewServer(c.Handler())
+	defer cs.Close()
+	var st clusterStats
+	getJSON(t, cs.URL+"/stats", &st)
+	if st.Cluster.DroppedNodes != 1 || st.Cluster.HaveNodes != 1 {
+		t.Fatalf("dropped/have = %d/%d, want 1/1", st.Cluster.DroppedNodes, st.Cluster.HaveNodes)
+	}
+	var sawDropped bool
+	for _, ns := range st.Cluster.Nodes {
+		if ns.URL == tsB.URL {
+			sawDropped = true
+			if !ns.Dropped || !ns.HasData {
+				t.Fatalf("stalled node stats: %+v, want dropped with retained data", ns)
+			}
+		}
+	}
+	if !sawDropped {
+		t.Fatal("/stats missing the stalled node")
+	}
+
+	// B recovers: one good pull puts it back in the merge.
+	swB.set(srvB.Handler())
+	c.PullAll(context.Background())
+	if got := c.N(); got != 1750 {
+		t.Fatalf("merged N after recovery = %d, want 1750", got)
+	}
+}
+
+// TestCoordinatorAllNodesDropped: when every contribution is past the
+// bound the coordinator serves the empty stream — explicitly fresh-
+// nothing rather than silently stale-everything.
+func TestCoordinatorAllNodesDropped(t *testing.T) {
+	ts, sw, _ := node(t, "SSH", 0.01, 1)
+	defer ts.Close()
+	ingest(t, ts.URL, zipf.Sequential(300))
+
+	c, err := cluster.New(cluster.Options{
+		Nodes:        []string{ts.URL},
+		Algo:         "SSH",
+		MaxStale:     50 * time.Millisecond,
+		MergeEncoded: streamfreq.MergeEncoded,
+		Epoch:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PullAll(context.Background())
+	if got := c.N(); got != 300 {
+		t.Fatalf("merged N = %d, want 300", got)
+	}
+	sw.set(down())
+	time.Sleep(120 * time.Millisecond)
+	c.PullAll(context.Background())
+	if got := c.N(); got != 0 {
+		t.Fatalf("merged N with every node dropped = %d, want 0", got)
+	}
+	cs := httptest.NewServer(c.Handler())
+	defer cs.Close()
+	resp, err := http.Get(cs.URL + "/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/summary with everything dropped: %s, want 404", resp.Status)
+	}
+}
+
+// windowedNode spins up one in-memory windowed freqd ("SSW").
+func windowedNode(t *testing.T, size, blocks, k int, epoch uint64) (*httptest.Server, serve.Target) {
+	t.Helper()
+	win, err := streamfreq.NewWindowed(size, blocks, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := core.NewConcurrent(win).ServeSnapshots(0)
+	srv := serve.NewServer(serve.Options{Target: target, Algo: "SSW", Epoch: epoch})
+	return httptest.NewServer(srv.Handler()), target
+}
+
+// TestCoordinatorMergesWindowedNodes: windowed summaries merge across
+// nodes through the same pull/decode/Merge machinery as the flat ones —
+// the merged view unions the nodes' *recent* windows, so each node's
+// currently-hot item is reported and each node's expired history is not.
+func TestCoordinatorMergesWindowedNodes(t *testing.T) {
+	const size, blocks, k = 1000, 4, 100
+	mkStream := func(oldHot, newHot core.Item, seed uint64) []core.Item {
+		g, err := zipf.NewGenerator(1<<12, 0.8, seed, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]core.Item, 0, 2800)
+		for i := 0; i < 1500; i++ { // old phase, fully expired by the new one
+			if i%3 == 0 {
+				out = append(out, oldHot)
+			} else {
+				out = append(out, g.Next())
+			}
+		}
+		for i := 0; i < 1300; i++ { // recent phase: newHot ≈ 25% of traffic
+			if i%4 == 0 {
+				out = append(out, newHot)
+			} else {
+				out = append(out, g.Next())
+			}
+		}
+		return out
+	}
+
+	tsA, _ := windowedNode(t, size, blocks, k, 11)
+	defer tsA.Close()
+	tsB, _ := windowedNode(t, size, blocks, k, 12)
+	defer tsB.Close()
+	ingest(t, tsA.URL, mkStream(1001, 2001, 31))
+	ingest(t, tsB.URL, mkStream(1002, 2002, 32))
+
+	c := coordinator(t, "", tsA.URL, tsB.URL)
+	c.PullAll(context.Background())
+	st := c.Stats()
+	if st.Algo != "SSW" {
+		t.Fatalf("adopted algo %q, want SSW", st.Algo)
+	}
+	if c.N() != 2*2800 {
+		t.Fatalf("merged N = %d, want %d", c.N(), 2*2800)
+	}
+
+	cs := httptest.NewServer(c.Handler())
+	defer cs.Close()
+	var tr topkResponse
+	getJSON(t, cs.URL+"/topk?phi=0.05", &tr)
+	if tr.N != 2*size {
+		t.Fatalf("/topk windowed denominator = %d, want the union span %d", tr.N, 2*size)
+	}
+	reported := map[uint64]bool{}
+	for _, ic := range tr.Items {
+		reported[ic.Item] = true
+	}
+	for _, hot := range []uint64{2001, 2002} {
+		if !reported[hot] {
+			t.Fatalf("recent hot item %d missing from merged windowed /topk (got %v)", hot, tr.Items)
+		}
+	}
+	for _, old := range []uint64{1001, 1002} {
+		if reported[old] {
+			t.Fatalf("expired item %d reported by the merged window at φ·2W", old)
+		}
+	}
+
+	// Geometry mismatches are per-merge failures, like parameter
+	// mismatches between flat nodes.
+	tsC, _ := windowedNode(t, 2*size, blocks, k, 13)
+	defer tsC.Close()
+	ingest(t, tsC.URL, mkStream(1003, 2003, 33))
+	c2 := coordinator(t, "", tsA.URL, tsC.URL)
+	c2.PullAll(context.Background())
+	if st := c2.Stats(); st.MergeErr == "" {
+		t.Fatalf("geometry-mismatched windowed nodes merged without error (stats %+v)", st)
 	}
 }

@@ -46,8 +46,8 @@ func (c *Coordinator) handleSummary(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v := c.merged.Load()
-	if v == nil {
-		serve.HTTPError(w, http.StatusNotFound, "no merged summary yet (no node has been pulled successfully)")
+	if v == nil || v.view == nil {
+		serve.HTTPError(w, http.StatusNotFound, "no merged summary to export (no successful pull, or every node is past -max-stale)")
 		return
 	}
 	c.mu.Lock()
@@ -76,6 +76,7 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 			"restarts":     ns.Restarts,
 			"has_data":     ns.HasData,
 			"stale":        ns.Stale,
+			"dropped":      ns.Dropped,
 			"last_pull_ms": ns.Age.Milliseconds(),
 			"error":        ns.LastErr,
 		}
@@ -88,12 +89,14 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 		"uptime_ms": st.Uptime.Milliseconds(),
 		"counters":  c.meter.Snapshot(),
 		"cluster": map[string]any{
-			"nodes":        nodes,
-			"merges":       st.Merges,
-			"merge_age_ms": st.MergeAge.Milliseconds(),
-			"merge_error":  st.MergeErr,
-			"fresh_nodes":  st.Fresh,
-			"have_nodes":   st.Have,
+			"nodes":         nodes,
+			"merges":        st.Merges,
+			"merge_age_ms":  st.MergeAge.Milliseconds(),
+			"merge_error":   st.MergeErr,
+			"fresh_nodes":   st.Fresh,
+			"have_nodes":    st.Have,
+			"dropped_nodes": st.Dropped,
+			"max_stale_ms":  st.MaxStale.Milliseconds(),
 		},
 	})
 }

@@ -565,6 +565,22 @@ type Stats struct {
 	Err             string
 }
 
+// Lag returns the acknowledged-but-not-yet-durable item count — the
+// stream distance between the end of the log (staged included) and the
+// last fsynced position. It is the backpressure signal the serving
+// layer's load shedding gates on, so it reads just the two counters it
+// needs (one locked integer, one atomic) instead of building a full
+// Stats snapshot on the ingest hot path.
+func (st *Store) Lag() int64 {
+	st.mu.Lock()
+	walN := st.walN
+	st.mu.Unlock()
+	if lag := walN - st.durableN.Load(); lag > 0 {
+		return lag
+	}
+	return 0
+}
+
 // Stats reports the store's current counters.
 func (st *Store) Stats() Stats {
 	st.mu.Lock()

@@ -75,6 +75,26 @@ type QueryHandlers struct {
 	Meter *metrics.Meter
 }
 
+// windowedView is the optional recent-traffic surface of a sliding-
+// window summary (window.Windowed and its snapshots implement it): the
+// φ-threshold denominator over the current window rather than the whole
+// stream history. A /topk?phi= against a windowed view means "φ of
+// recent traffic" — thresholding φ against the ever-growing total N
+// would drift the operating point above anything a window can hold.
+type windowedView interface {
+	WindowN() int64
+}
+
+// thresholdN returns the denominator φ-style thresholds divide: the
+// windowed stream length for windowed views, the full stream length
+// otherwise.
+func thresholdN(view core.ReadView) int64 {
+	if wv, ok := view.(windowedView); ok {
+		return wv.WindowN()
+	}
+	return view.N()
+}
+
 func (q *QueryHandlers) count(key string) {
 	if q.Meter != nil {
 		q.Meter.Add(key, 1)
@@ -97,7 +117,7 @@ func (q *QueryHandlers) TopK(w http.ResponseWriter, r *http.Request) {
 	}
 	query := r.URL.Query()
 	view := q.View()
-	n := view.N()
+	n := thresholdN(view)
 	var threshold int64
 	switch {
 	case query.Get("threshold") != "":

@@ -12,7 +12,8 @@
 //	                  text/plain                whitespace-separated tokens
 //	                                            (hashed via core.HashString)
 //	                  application/x-sfstream    an SFSTRM01 stream file
-//	GET  /topk      ?phi=0.001 (threshold φ·N) or ?threshold=123; &k= caps
+//	GET  /topk      ?phi=0.001 (threshold φ·N — or φ·W when the target
+//	                serves a sliding window) or ?threshold=123; &k= caps
 //	GET  /estimate  ?item=123 | ?item=0x7b | ?token=foo
 //	GET  /summary   the summary's registry Encode blob (a fresh snapshot),
 //	                with X-Freq-N / X-Freq-Epoch / X-Freq-Algo headers —
@@ -26,8 +27,11 @@
 // With a persist.Store attached (Options.Store), ingest is write-ahead
 // logged by the target wrapper itself; the server's role is to stop
 // acknowledging writes once the log has failed (503 — accepting updates
-// it cannot make durable would silently change the crash contract) and
-// to expose the checkpoint control and observability surface.
+// it cannot make durable would silently change the crash contract), to
+// shed load with 429 + Retry-After once the unsynced WAL lag exceeds
+// Options.MaxLag (backpressure before the staging cap makes appenders
+// pay the disk inline), and to expose the checkpoint control and
+// observability surface.
 //
 // The package is the testable core of cmd/freqd: the command adds flags,
 // listening, signals, recovery, and the checkpoint timer around
@@ -46,6 +50,7 @@ import (
 	"streamfreq/internal/metrics"
 	"streamfreq/internal/persist"
 	"streamfreq/internal/stream"
+	"streamfreq/internal/window"
 )
 
 // Target is what the server serves: a summary that is safe for
@@ -70,6 +75,12 @@ type snapshotServer interface {
 // Query as separate wrapper calls could straddle a snapshot refresh.
 type viewServer interface {
 	ServingView() core.ReadView
+}
+
+// windowStatser is the observability surface of a windowed serving view
+// (window.Windowed and its snapshots); /stats reports it when present.
+type windowStatser interface {
+	WindowStats() window.Stats
 }
 
 // view returns the read state for one request: the target's current
@@ -110,6 +121,14 @@ type Options struct {
 	// ingest once the store has latched a failure. The Target must
 	// implement persist.Target.
 	Store *persist.Store
+	// MaxLag, when positive (and Store is set), is the write-ahead
+	// log's backpressure bound in items: once the acknowledged-but-not-
+	// yet-durable lag (WALEndN − DurableN) exceeds it, /ingest sheds
+	// load with 429 + Retry-After instead of acknowledging writes the
+	// disk is visibly behind on — surfacing the pressure to clients
+	// *before* the staging cap makes appenders pay the disk inline.
+	// 0 disables shedding (the staging cap remains the only brake).
+	MaxLag int64
 	// Epoch identifies this process lifetime on GET /summary; 0 (the
 	// default) draws one from the clock at startup. A coordinator uses
 	// epoch changes to detect node restarts, so an explicit value is
@@ -126,6 +145,7 @@ type Server struct {
 	maxIn    int64
 	maxNames int
 	store    *persist.Store
+	maxLag   int64
 	durable  persist.Target // target as persist.Target; nil without a store
 	meter    *metrics.Meter
 	start    time.Time
@@ -167,6 +187,7 @@ func NewServer(opts Options) *Server {
 		maxIn:    opts.MaxIngestBytes,
 		maxNames: opts.MaxTokenNames,
 		store:    opts.Store,
+		maxLag:   opts.MaxLag,
 		meter:    metrics.NewMeter(),
 		start:    time.Now(),
 		epoch:    opts.Epoch,
@@ -233,6 +254,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			s.meter.Add("ingest.rejected", 1)
 			HTTPError(w, http.StatusServiceUnavailable, "persistence failed, ingest disabled: %v", err)
 			return
+		}
+		if s.maxLag > 0 {
+			if lag := s.store.Lag(); lag > s.maxLag {
+				// The disk is behind by more than the operator's bound:
+				// shed the write with an explicit retry signal while the
+				// log drains, instead of acknowledging into a growing
+				// unsynced tail. Reads keep serving throughout.
+				s.meter.Add("ingest.shed", 1)
+				w.Header().Set("Retry-After", "1")
+				HTTPError(w, http.StatusTooManyRequests,
+					"WAL lag %d items exceeds the %d-item bound; retry after the log drains", lag, s.maxLag)
+				return
+			}
 		}
 	}
 	body := http.MaxBytesReader(w, r.Body, s.maxIn)
@@ -358,6 +392,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"max_stale_ms": st.MaxStale.Milliseconds(),
 		}
 	}
+	if ws, ok := s.view().(windowStatser); ok {
+		// The serving view is a windowed summary: surface the window
+		// shape and its error accounting next to the whole-stream n, so
+		// operators can read the φ·W operating point (window_n), the
+		// certified overestimate bound (slack), and how much of the
+		// boundary block is expired-but-still-counted straight off the
+		// endpoint.
+		wst := ws.WindowStats()
+		resp["window"] = map[string]any{
+			"size":             wst.Size,
+			"blocks":           wst.Blocks,
+			"block_len":        wst.BlockLen,
+			"k":                wst.K,
+			"window_live":      wst.Live,
+			"window_n":         wst.WindowN,
+			"coverage":         wst.Coverage,
+			"slack":            wst.Slack,
+			"boundary_expired": wst.BoundaryExpired,
+		}
+	}
 	if s.store != nil {
 		ps := s.store.Stats()
 		resp["wal"] = map[string]any{
@@ -367,6 +421,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"active_segment":   ps.ActiveSegment,
 			"end_n":            ps.WALEndN,
 			"durable_n":        ps.DurableN,
+			"lag":              ps.WALEndN - ps.DurableN,
+			"max_lag":          s.maxLag,
 			"appended_records": ps.AppendedRecords,
 			"appended_bytes":   ps.AppendedBytes,
 			"inline_drains":    ps.InlineDrains,

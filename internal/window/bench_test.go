@@ -1,0 +1,109 @@
+package window
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"streamfreq/internal/core"
+	"streamfreq/internal/zipf"
+)
+
+// The windowed entries of the performance trajectory (BENCH_*.json):
+// BenchmarkWindowUpdateBatch is the windowed twin of the root package's
+// BenchmarkUpdateBatch — per-item cost of batched ingest, here paying
+// the block split plus the per-block Space-Saving batch path — and
+// BenchmarkWindowSnapshotServing mirrors core's BenchmarkSnapshotServing
+// over a windowed target: ingest throughput under a ticker-paced query
+// load answered from ring-deep snapshots must stay within a few percent
+// of ingest-only. Both are CPU-bound and gated by the CI bench job.
+
+func benchWindowStream(b *testing.B, n int) []core.Item {
+	b.Helper()
+	g, err := zipf.NewGenerator(1<<20, 1.0, 20080824, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g.Stream(n)
+}
+
+func BenchmarkWindowUpdateBatch(b *testing.B) {
+	stream := benchWindowStream(b, 1<<17)
+	const batch = core.DefaultBatchSize
+	s, err := NewWindowed(1<<16, 8, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		off := done % len(stream)
+		n := batch
+		if n > b.N-done {
+			n = b.N - done
+		}
+		if n > len(stream)-off {
+			n = len(stream) - off
+		}
+		s.UpdateBatch(stream[off : off+n])
+		done += n
+	}
+	b.StopTimer()
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	if perOp > 0 {
+		b.ReportMetric(1e6/perOp, "upd/ms")
+	}
+	b.ReportMetric(float64(s.Bytes()), "bytes")
+}
+
+func BenchmarkWindowSnapshotServing(b *testing.B) {
+	stream := benchWindowStream(b, 1<<20)
+	const batch = 4096
+	const queryInterval = 2 * time.Millisecond // 500 queries/s + 500 estimates/s
+
+	mk := func() *core.Concurrent {
+		s, err := NewWindowed(1<<16, 8, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return core.NewConcurrent(s)
+	}
+	ingest := func(b *testing.B, c *core.Concurrent) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lo := (i * batch) % (len(stream) - batch)
+			c.UpdateBatch(stream[lo : lo+batch])
+		}
+		b.StopTimer()
+	}
+	withReader := func(b *testing.B, c *core.Concurrent) {
+		stop := make(chan struct{})
+		var rg sync.WaitGroup
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			tick := time.NewTicker(queryInterval)
+			defer tick.Stop()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					_ = c.Estimate(core.Item(uint64(i)))
+					_ = c.Query(int64(1) << 10)
+				}
+			}
+		}()
+		ingest(b, c)
+		close(stop)
+		rg.Wait()
+	}
+
+	b.Run("ingest-only", func(b *testing.B) {
+		ingest(b, mk())
+	})
+	b.Run("ingest+snapshot-reads", func(b *testing.B) {
+		withReader(b, mk().ServeSnapshots(100*time.Millisecond))
+	})
+}

@@ -1,0 +1,71 @@
+package window
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzEHistogram is the native-fuzzing arm of the exponential
+// histogram's contract: for an arbitrary Observe sequence the structure
+// never panics, its space stays logarithmic, and Count stays within the
+// ε relative-error envelope of an exact sliding ring buffer at every
+// step — the same bound the deterministic test checks on one stochastic
+// schedule, here driven by whatever adversarial event patterns the
+// fuzzer invents (bursts, exact-period pulses, long silences).
+func FuzzEHistogram(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0xFF, 0xFF, 0xFF})       // saturated
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00}) // silent
+	f.Add([]byte{0xAA, 0x55, 0xAA, 0x55}) // alternating
+	f.Add(bytes.Repeat([]byte{0x80}, 64)) // one event per 8 steps
+	f.Add(bytes.Repeat([]byte{0xFF, 0x00, 0x01}, 32))
+
+	const (
+		window = 64
+		eps    = 0.2
+	)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 { // 8 steps per byte; 4096 steps is plenty deep
+			data = data[:512]
+		}
+		h, err := NewEHistogram(window, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The exact reference: a ring of the last `window` events.
+		ring := make([]bool, window)
+		var exact int64
+		step := 0
+		for _, b := range data {
+			for bit := 0; bit < 8; bit++ {
+				ev := b&(1<<bit) != 0
+				// Slide the exact window before observing, mirroring
+				// Observe's advance-then-record order.
+				if ring[step%window] {
+					exact--
+				}
+				ring[step%window] = ev
+				if ev {
+					exact++
+				}
+				step++
+				h.Observe(ev)
+
+				got := h.Count()
+				if exact == 0 {
+					if got != 0 {
+						t.Fatalf("step %d: Count = %d with an event-free window", step, got)
+					}
+					continue
+				}
+				bound := int64(1.5*eps*float64(exact)) + 1
+				if diff := got - exact; diff > bound || diff < -bound {
+					t.Fatalf("step %d: Count = %d vs exact %d (bound ±%d)", step, got, exact, bound)
+				}
+				if h.Buckets() > 96 {
+					t.Fatalf("step %d: %d buckets; logarithmic space bound violated", step, h.Buckets())
+				}
+			}
+		}
+	})
+}

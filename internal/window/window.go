@@ -36,13 +36,20 @@ type Window struct {
 
 // New returns a sliding window of the given size covered by blocks
 // Space-Saving summaries of k counters each. size must be a multiple of
-// blocks.
+// blocks. The geometry bounds match what the WN01 decoder accepts, so
+// any window that can be constructed can also be checkpointed and
+// recovered — an over-bound configuration fails here, at startup, not
+// at recovery time with an unreadable data directory.
 func New(size, blocks, k int) (*Window, error) {
 	if size <= 0 || blocks <= 0 || k <= 0 {
 		return nil, fmt.Errorf("window: size, blocks, k must be positive")
 	}
 	if size%blocks != 0 {
 		return nil, fmt.Errorf("window: size %d not a multiple of blocks %d", size, blocks)
+	}
+	if blocks > maxWNBlocks || k > maxWNCounters || int64(size) > maxWNSize {
+		return nil, fmt.Errorf("window: geometry out of range (W=%d B=%d k=%d; max %d/%d/%d)",
+			size, blocks, k, maxWNSize, maxWNBlocks, maxWNCounters)
 	}
 	// The ring keeps blocks+1 summaries so the live blocks always cover at
 	// least the last W items: B full blocks plus the one being filled.
@@ -83,14 +90,22 @@ func (w *Window) Update(x core.Item) {
 	w.ring[w.head].Update(x, 1)
 	w.curFill++
 	if w.curFill == w.blockLen {
-		// Rotate: the next slot becomes current; whatever it held expires.
-		w.head = (w.head + 1) % len(w.ring)
-		if old := w.ring[w.head]; old != nil {
-			w.liveCount -= old.N()
-		}
-		w.ring[w.head] = counters.NewSpaceSavingHeap(w.k)
-		w.curFill = 0
+		w.rotate()
 	}
+}
+
+// rotate advances to the next ring slot once the current block is full:
+// the next slot becomes current and whatever it held expires. Block
+// boundaries are a pure function of the arrival count, which is what
+// makes the windowed state reproducible from any stream prefix (WAL
+// replay lands on the same boundaries the live run did).
+func (w *Window) rotate() {
+	w.head = (w.head + 1) % len(w.ring)
+	if old := w.ring[w.head]; old != nil {
+		w.liveCount -= old.N()
+	}
+	w.ring[w.head] = counters.NewSpaceSavingHeap(w.k)
+	w.curFill = 0
 }
 
 // merged builds a fresh summary covering all live blocks.

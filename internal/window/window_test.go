@@ -8,7 +8,13 @@ import (
 )
 
 func TestNewValidation(t *testing.T) {
-	cases := [][3]int{{0, 4, 10}, {100, 0, 10}, {100, 4, 0}, {100, 3, 10}}
+	cases := [][3]int{
+		{0, 4, 10}, {100, 0, 10}, {100, 4, 0}, {100, 3, 10},
+		// Over the wire-format geometry bounds: rejected at construction
+		// so no legally-built window can write an undecodable checkpoint.
+		{100, 10, maxWNCounters + 1},
+		{1 << 17, 1 << 17, 1},
+	}
 	for _, c := range cases {
 		if _, err := New(c[0], c[1], c[2]); err == nil {
 			t.Errorf("New(%v) accepted", c)

@@ -1,0 +1,251 @@
+package window
+
+import (
+	"streamfreq/internal/core"
+	"streamfreq/internal/counters"
+)
+
+// Windowed lifts Window to the repository's full summary contract, so
+// sliding-window heavy hitters plug into every layer built on
+// core.Summary: the Concurrent wrapper's snapshot serving, the
+// registry wire format (WN01), checkpoints and WAL recovery, and the
+// cluster merge. It answers the *recent-past* form of the frequent-items
+// question — counts over (roughly) the last W arrivals instead of the
+// whole stream — which is the operating point of the paper's trending-
+// queries and hot-flows applications.
+//
+// Contracts, layer by layer:
+//
+//   - Summary: Update accepts weighted arrivals (count consecutive unit
+//     arrivals of the same item, split across block boundaries exactly
+//     where scalar arrivals would fall); Estimate/Query answer over the
+//     live blocks and are one-sided (never below the true last-W count,
+//     above it by at most Slack); N is the total stream length ever
+//     seen, as everywhere else — the durability layer's stream-position
+//     accounting depends on it. The windowed denominator for φ-style
+//     thresholds is WindowN.
+//   - BatchUpdater: UpdateBatch splits the batch at block boundaries and
+//     feeds each segment through the block's own Space-Saving batch
+//     path. Block boundaries depend only on the arrival count, so a WAL
+//     replay with the original batch boundaries reproduces the live
+//     run's state bit for bit.
+//   - Snapshotter: Clone deep-copies the ring, so snapshot serving,
+//     checkpoints, and /summary shipping work unchanged.
+//   - Merger: windows of identical geometry merge block-by-block
+//     aligned by recency — the same mergeable-summaries construction
+//     the per-block summaries already use — so a coordinator can serve
+//     the union of several nodes' recent traffic. See Merge for the
+//     exact semantics.
+//
+// Durability semantics (the expiring-block contract): a checkpoint
+// encodes only the live ring — expired blocks are gone from durable
+// state, which is what keeps it O(W) however long the server runs — and
+// WAL replay reconstructs block boundaries from the batch records the
+// log already preserves, because boundaries are a function of stream
+// position alone. A recovered window is therefore bit-identical (via
+// WN01) to a fresh window fed exactly the durable prefix with the
+// original batch boundaries; recovery_test.go pins this.
+type Windowed struct {
+	*Window
+	// coverage is the total window span represented: W for a single
+	// stream, summed under Merge (a merged summary covers one window per
+	// contributing node). It is the cap WindowN applies to the live item
+	// count.
+	coverage int64
+}
+
+// NewWindowed returns a sliding-window summary over the most recent
+// size items, covered by blocks Space-Saving summaries of k counters
+// each; size must be a multiple of blocks.
+func NewWindowed(size, blocks, k int) (*Windowed, error) {
+	w, err := New(size, blocks, k)
+	if err != nil {
+		return nil, err
+	}
+	return &Windowed{Window: w, coverage: int64(size)}, nil
+}
+
+// Name implements core.Summary. "SSW" = Space-Saving, windowed.
+func (s *Windowed) Name() string { return "SSW" }
+
+// K returns the per-block counter budget.
+func (s *Windowed) K() int { return s.k }
+
+// Blocks returns the block count B.
+func (s *Windowed) Blocks() int { return s.blocks }
+
+// WindowN returns the windowed stream length — the denominator for
+// φ-style thresholds over recent traffic: the live item count, capped
+// at the window span (live counts run up to W + W/B while the boundary
+// block drains, and capping keeps φ·WindowN at the φ·W operating point
+// there). The serving layer uses it to turn /topk?phi= into a
+// recent-traffic threshold instead of a whole-history one.
+func (s *Windowed) WindowN() int64 {
+	if s.liveCount < s.coverage {
+		return s.liveCount
+	}
+	return s.coverage
+}
+
+// fillSegments walks total arrivals through the ring, one segment per
+// block-boundary crossing: apply feeds the next m arrivals into the
+// current head block, then the shared accounting advances the fill and
+// rotates when the block completes. Both ingest paths run through this
+// single walk, so the boundary and liveCount rules cannot drift apart —
+// which is what the bit-identical WAL-replay contract leans on.
+func (w *Window) fillSegments(total int64, apply func(m int64)) {
+	for total > 0 {
+		m := int64(w.blockLen - w.curFill)
+		if m > total {
+			m = total
+		}
+		apply(m)
+		w.n += m
+		w.liveCount += m
+		w.curFill += int(m)
+		if w.curFill == w.blockLen {
+			w.rotate()
+		}
+		total -= m
+	}
+}
+
+// Update implements core.Summary for the insert-only model: count
+// consecutive arrivals of x, split across block boundaries exactly as
+// count scalar arrivals would be. count must be positive.
+func (s *Windowed) Update(x core.Item, count int64) {
+	if count <= 0 {
+		panic("window: Windowed requires positive update counts (insert-only stream model)")
+	}
+	w := s.Window
+	w.fillSegments(count, func(m int64) {
+		w.ring[w.head].Update(x, m)
+	})
+}
+
+// UpdateBatch implements core.BatchUpdater: the batch is split at block
+// boundaries and each segment ingested through the block summary's own
+// batch path, so the amortized Space-Saving costs carry over and the
+// resulting state depends only on the stream content and the batch
+// boundaries — the exact reproducibility the WAL replay contract needs.
+func (s *Windowed) UpdateBatch(items []core.Item) {
+	w := s.Window
+	off := 0
+	w.fillSegments(int64(len(items)), func(m int64) {
+		w.ring[w.head].UpdateBatch(items[off : off+int(m)])
+		off += int(m)
+	})
+}
+
+// Clone returns an independent deep copy: every live block is cloned
+// and the ring geometry (head, fill, accounting) copied verbatim, so
+// the clone serves exactly the parent's current window and neither side
+// ever observes the other's subsequent arrivals.
+func (s *Windowed) Clone() *Windowed {
+	w := s.Window
+	nw := &Window{
+		size:      w.size,
+		blocks:    w.blocks,
+		blockLen:  w.blockLen,
+		k:         w.k,
+		ring:      make([]*counters.SpaceSavingHeap, len(w.ring)),
+		head:      w.head,
+		curFill:   w.curFill,
+		liveCount: w.liveCount,
+		n:         w.n,
+	}
+	for i, b := range w.ring {
+		if b != nil {
+			nw.ring[i] = b.Clone()
+		}
+	}
+	return &Windowed{Window: nw, coverage: s.coverage}
+}
+
+// Snapshot implements core.Snapshotter.
+func (s *Windowed) Snapshot() core.Summary { return s.Clone() }
+
+// Merge combines another windowed summary of identical geometry (same
+// W, B, k) into this one, block-by-block aligned by recency: the other
+// side's freshest block folds into the receiver's freshest, its second-
+// freshest into the second-freshest, and so on, each per-block merge
+// being the Space-Saving mergeable-summaries construction. The result
+// answers for the union of the two recent windows — every item frequent
+// in either node's last W arrivals stays reported, estimates never
+// underestimate the union's windowed count, and the per-side slacks
+// add. coverage sums (the merged summary spans one window per node), so
+// WindowN keeps φ-thresholds meaningful over the union.
+//
+// The merged summary is a serving artifact: it answers queries and
+// re-encodes deterministically (coordinators stack), but block
+// boundaries are per-stream, so continuing to *ingest* into a merged
+// summary rotates on the receiver's own fill cadence only.
+func (s *Windowed) Merge(other core.Summary) error {
+	o, ok := other.(*Windowed)
+	if !ok {
+		return core.Incompatible("Windowed: cannot merge %T", other)
+	}
+	if o.size != s.size || o.blocks != s.blocks || o.k != s.k {
+		return core.Incompatible("Windowed: geometry mismatch (W=%d/%d, B=%d/%d, k=%d/%d)",
+			s.size, o.size, s.blocks, o.blocks, s.k, o.k)
+	}
+	ring := len(s.ring)
+	for j := 0; j < ring; j++ {
+		ob := o.ring[((o.head-j)%ring+ring)%ring]
+		if ob == nil || ob.N() == 0 {
+			continue
+		}
+		si := ((s.head-j)%ring + ring) % ring
+		if rb := s.ring[si]; rb != nil {
+			if err := rb.Merge(ob); err != nil {
+				return err
+			}
+		} else {
+			s.ring[si] = ob.Clone()
+		}
+	}
+	s.n += o.n
+	s.coverage += o.coverage
+	var live int64
+	for _, b := range s.ring {
+		if b != nil {
+			live += b.N()
+		}
+	}
+	s.liveCount = live
+	return nil
+}
+
+// Stats is the windowed observability snapshot freqd's /stats surfaces.
+type Stats struct {
+	// Size is the window length W; Blocks the block count B; BlockLen
+	// W/B; K the per-block counter budget.
+	Size, Blocks, BlockLen, K int
+	// N is the total arrivals ever seen; Live the items currently
+	// represented in the ring (up to W + W/B); WindowN the capped
+	// φ-threshold denominator; Coverage the summed window span (W per
+	// merged stream).
+	N, Live, WindowN, Coverage int64
+	// Slack bounds the overestimation of any windowed estimate.
+	Slack int64
+	// BoundaryExpired is how many already-expired items the boundary
+	// (oldest) block still counts — Live − WindowN, between 0 and
+	// BlockLen for an unmerged window.
+	BoundaryExpired int64
+}
+
+// WindowStats reports the window's current shape and error accounting.
+func (s *Windowed) WindowStats() Stats {
+	return Stats{
+		Size:            s.size,
+		Blocks:          s.blocks,
+		BlockLen:        s.blockLen,
+		K:               s.k,
+		N:               s.n,
+		Live:            s.liveCount,
+		WindowN:         s.WindowN(),
+		Coverage:        s.coverage,
+		Slack:           s.Slack(),
+		BoundaryExpired: s.liveCount - s.WindowN(),
+	}
+}

@@ -44,6 +44,24 @@ func FuzzMergeEncoded(f *testing.F) {
 	f.Add([]byte{}, []byte{})
 	f.Add([]byte("SS01"), []byte("FQ01"))
 
+	// The windowed format rides the same trust boundary: a genuine WN01
+	// pair, a windowed/flat mix, and a geometry mismatch seed the corpus.
+	win := mustWindowedSummary(64, 4, 8)
+	UpdateAll(win, zipf.Sequential(500))
+	winBlob, err := win.(interface{ MarshalBinary() ([]byte, error) }).MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	win2 := mustWindowedSummary(64, 2, 8)
+	UpdateAll(win2, zipf.Sequential(300))
+	win2Blob, err := win2.(interface{ MarshalBinary() ([]byte, error) }).MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(winBlob, winBlob)
+	f.Add(winBlob, win2Blob)
+	f.Add(winBlob, blobs[0])
+
 	f.Fuzz(func(t *testing.T, a, b []byte) {
 		merged, err := MergeEncoded(a, b)
 		if err != nil {

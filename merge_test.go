@@ -154,6 +154,86 @@ func TestMergeEncodedFidelityRegistry(t *testing.T) {
 	}
 }
 
+// TestMergeEncodedWindowed extends the merge wall to the windowed
+// summary (WN01): merging through blobs is byte-identical to merging
+// the live summaries, the union answers for both nodes' recent windows
+// (N and coverage sum, recent hot items reported, neither side's
+// windowed estimate floor is ever undercut), and geometry mismatches
+// come back wrapping ErrIncompatible like any parameter mismatch.
+func TestMergeEncodedWindowed(t *testing.T) {
+	const size, blocks, k = 2000, 4, 100
+	mkFed := func(hot Item, seed uint64) Summary {
+		s := mustWindowedSummary(size, blocks, k)
+		g, err := zipf.NewGenerator(1<<13, 0.9, seed, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items := make([]Item, 9000)
+		for i := range items {
+			if i%4 == 0 {
+				items[i] = hot
+			} else {
+				items[i] = g.Next()
+			}
+		}
+		UpdateBatches(s, items, 512)
+		return s
+	}
+	a, b := mkFed(5001, 91), mkFed(5002, 92)
+	blobA, blobB := marshal(t, "SSW/a", a), marshal(t, "SSW/b", b)
+
+	merged, err := MergeEncoded(blobA, blobB)
+	if err != nil {
+		t.Fatalf("MergeEncoded: %v", err)
+	}
+	if merged.N() != a.N()+b.N() {
+		t.Fatalf("merged N = %d, want %d", merged.N(), a.N()+b.N())
+	}
+
+	// Wire fidelity: blob-merge ≡ live-merge, byte for byte.
+	direct := mkFed(5001, 91)
+	if err := direct.(Merger).Merge(mkFed(5002, 92)); err != nil {
+		t.Fatalf("direct merge: %v", err)
+	}
+	if got, want := marshal(t, "SSW/merged", merged), marshal(t, "SSW/direct", direct); string(got) != string(want) {
+		t.Fatalf("MergeEncoded and live Merge encode differently (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// Union semantics: both hot items reported at 5% of the union span,
+	// and the merged estimate never undercuts either side's own.
+	wn := merged.(interface{ WindowN() int64 }).WindowN()
+	if wn <= int64(size) || wn > int64(2*size) {
+		t.Fatalf("merged WindowN = %d, want within (W, 2W]", wn)
+	}
+	reported := map[Item]bool{}
+	for _, ic := range merged.Query(wn / 20) {
+		reported[ic.Item] = true
+	}
+	for _, hot := range []Item{5001, 5002} {
+		if !reported[hot] {
+			t.Fatalf("hot item %d missing from merged windowed report", hot)
+		}
+		if mergedEst, own := merged.Estimate(hot), a.Estimate(hot); hot == 5001 && mergedEst < own {
+			t.Fatalf("merged estimate %d undercuts node A's own %d", mergedEst, own)
+		}
+	}
+
+	// Geometry mismatch: refused, wrapping ErrIncompatible.
+	other := mustWindowedSummary(size, 2*blocks, k)
+	UpdateAll(other, zipf.Sequential(500))
+	if _, err := MergeEncoded(blobA, marshal(t, "SSW/other", other)); err == nil {
+		t.Fatal("geometry-mismatched windowed MergeEncoded succeeded")
+	} else if !strings.Contains(err.Error(), "geometry") {
+		t.Fatalf("mismatch error %q does not name the geometry", err)
+	}
+	// Cross-family: a windowed blob never merges into a flat one.
+	ssh := MustNew("SSH", 0.01, 1)
+	UpdateAll(ssh, zipf.Sequential(500))
+	if _, err := MergeEncoded(marshal(t, "ssh", ssh), blobA); err == nil {
+		t.Fatal("flat+windowed MergeEncoded succeeded")
+	}
+}
+
 // TestMergeEncodedErrors: the coordinator-facing failure modes are
 // errors with useful text, never panics.
 func TestMergeEncodedErrors(t *testing.T) {

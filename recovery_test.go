@@ -198,3 +198,25 @@ func TestCrashRecoverySharded(t *testing.T) {
 		})
 	}
 }
+
+// TestCrashRecoveryWindowed runs the kill-at-arbitrary-offset property
+// through the sliding-window summary, pinning the expiring-block
+// durability contract: the checkpoint holds only the live ring (WN01),
+// the WAL tail's batch records reconstruct block boundaries (a pure
+// function of stream position), and the recovered window re-encodes
+// bit-identically to a fresh window fed exactly the durable prefix —
+// including the blocks that expired before the crash, which are absent
+// from both.
+func TestCrashRecoveryWindowed(t *testing.T) {
+	for round := uint64(0); round < 2; round++ {
+		t.Run(fmt.Sprintf("SSW/tear-%d", round), func(t *testing.T) {
+			checkCrashRecovery(t, "SSW", func() persist.Target {
+				w, err := NewWindowed(4096, 8, 401)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return core.NewConcurrent(w)
+			}, 0x51EE9+round)
+		})
+	}
+}

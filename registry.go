@@ -8,6 +8,7 @@ import (
 	"streamfreq/internal/core"
 	"streamfreq/internal/counters"
 	"streamfreq/internal/sketches"
+	"streamfreq/internal/window"
 )
 
 // Algorithms returns the paper codes of every registered algorithm, in
@@ -149,6 +150,12 @@ var decoders = map[string]func([]byte) (Summary, error){
 	"SS01": func(b []byte) (Summary, error) { return counters.DecodeSpaceSavingHeap(b) },
 	"LC01": func(b []byte) (Summary, error) { return counters.DecodeLossyCounting(b) },
 	"SL01": func(b []byte) (Summary, error) { return counters.DecodeSpaceSavingList(b) },
+	// WN01 is the sliding-window summary ("SSW"): not in the factories
+	// roster — it answers a different question (last-W counts, not
+	// whole-stream) and is provisioned by window geometry, not φ alone —
+	// but a first-class wire citizen, so windowed checkpoints, /summary
+	// pulls, and cluster merges dispatch like any flat summary.
+	"WN01": func(b []byte) (Summary, error) { return window.DecodeWindowed(b) },
 }
 
 // The TK01 decoder recursively dispatches through Decode for the nested

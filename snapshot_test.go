@@ -175,6 +175,17 @@ func TestSnapshotFidelityExtras(t *testing.T) {
 		{"CGT-16bit", false, func() Summary { return NewCGT(4, 512, 16, 7) }},
 		{"Exact", false, func() Summary { return exact.New() }},
 		{"Concurrent(SSH)", false, func() Summary { return NewConcurrent(NewSpaceSaving(400)) }},
+		// The sliding-window summary: the clone must freeze the whole
+		// ring — block contents, head position, and fill — so the
+		// fidelity and no-leak legs also pin that rotations on one side
+		// never disturb the other.
+		{"Windowed", false, func() Summary {
+			w, err := NewWindowed(8000, 8, 400)
+			if err != nil {
+				panic(err)
+			}
+			return w
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
