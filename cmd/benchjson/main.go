@@ -15,6 +15,14 @@
 //
 //	benchjson -diff BENCH_PR4.json fresh.json            # 15% default
 //	benchjson -diff -threshold 10 -metric ns/op old new
+//	benchjson -diff -metric allocs -threshold 0 old new  # allocation gate
+//
+// -metric accepts the go test unit verbatim (ns/op, B/op, allocs/op,
+// MB/s) or the shorthands ns, bytes, allocs. A zero baseline is a real
+// measurement, not a missing metric: 0 → 0 passes, and 0 → anything
+// positive is an infinite regression that fails a gated benchmark at
+// any threshold — which is exactly what pins a 0 allocs/op steady
+// state in CI.
 //
 // The diff prints one row per benchmark with the old and new value and
 // the delta percentage, and exits nonzero if any benchmark shared by
@@ -34,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -162,16 +171,28 @@ func diffReports(oldRep, newRep Report, metric string, threshold float64, gate *
 		}
 		ov, okO := o.Metrics[metric]
 		nv, okN := n.Metrics[metric]
-		if !okO || !okN || ov == 0 {
+		if !okO || !okN {
 			d.NoMetric = append(d.NoMetric, key)
-			if gate != nil && gate.MatchString(key) && okO && ov != 0 {
+			if gate != nil && gate.MatchString(key) && okO {
 				// The seed gates this key on the metric, the new run lost
 				// it — as enforceable as the benchmark disappearing.
 				d.MissingGated = append(d.MissingGated, key)
 			}
 			continue
 		}
-		row := diffRow{Key: key, Old: ov, New: nv, DeltaPct: (nv - ov) / ov * 100}
+		// A zero baseline is a measurement (a 0 allocs/op seed), not a
+		// division hazard to skip: staying at zero is a clean pass and
+		// any growth is an infinite regression, past every threshold.
+		var delta float64
+		switch {
+		case ov == 0 && nv == 0:
+			delta = 0
+		case ov == 0:
+			delta = math.Inf(1)
+		default:
+			delta = (nv - ov) / ov * 100
+		}
+		row := diffRow{Key: key, Old: ov, New: nv, DeltaPct: delta}
 		row.Gated = gate == nil || gate.MatchString(key)
 		d.Rows = append(d.Rows, row)
 		if row.Gated && row.DeltaPct > threshold {
@@ -229,12 +250,29 @@ func printDiff(w io.Writer, d diffResult, metric string, threshold float64) int 
 	return 0
 }
 
+// metricAliases maps shorthand -metric spellings to the go test units
+// the reports actually carry.
+var metricAliases = map[string]string{
+	"ns":     "ns/op",
+	"bytes":  "B/op",
+	"allocs": "allocs/op",
+}
+
+// canonicalMetric resolves a -metric value: shorthands expand, full
+// units pass through.
+func canonicalMetric(m string) string {
+	if full, ok := metricAliases[m]; ok {
+		return full
+	}
+	return m
+}
+
 // newFlagSet builds the CLI flags; factored so tests can drive parsing.
 func newFlagSet(diffMode *bool, threshold *float64, metric, gate *string) *flag.FlagSet {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.BoolVar(diffMode, "diff", false, "compare two BENCH_*.json files instead of converting stdin")
 	fs.Float64Var(threshold, "threshold", 15, "max regression percent on -metric before a nonzero exit (diff mode)")
-	fs.StringVar(metric, "metric", "ns/op", "metric unit the diff gates on")
+	fs.StringVar(metric, "metric", "ns/op", "metric unit the diff gates on (ns/op, B/op, allocs/op, MB/s; shorthands ns, bytes, allocs)")
 	fs.StringVar(gate, "gate", "", "regexp of benchmark keys the threshold enforces (empty = all; non-matching rows are reported, never fatal)")
 	return fs
 }
@@ -303,6 +341,7 @@ func main() {
 				os.Exit(2)
 			}
 		}
+		metric = canonicalMetric(metric)
 		d := diffReports(oldRep, newRep, metric, threshold, gate)
 		os.Exit(printDiff(os.Stdout, d, metric, threshold))
 	}

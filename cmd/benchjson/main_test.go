@@ -299,3 +299,55 @@ func TestDiffGatedMissingFails(t *testing.T) {
 		t.Fatalf("exit = %d, want 0 for ungated missing\n%s", exit, out.String())
 	}
 }
+
+// TestDiffZeroBaseline pins the allocation-gate semantics: a 0-valued
+// seed metric is a measurement, not a skip — staying at 0 passes, and
+// growing from 0 is an infinite regression that fails a gated key at
+// any threshold.
+func TestDiffZeroBaseline(t *testing.T) {
+	allocRep := func(v float64) Report {
+		return Report{Benchmarks: []Result{
+			{Name: "BenchmarkPipelinedIngest/SSH-8", Package: "p", Iterations: 1000,
+				Metrics: map[string]float64{"allocs/op": v, "ns/op": 100}},
+		}}
+	}
+	gate := regexp.MustCompile(`BenchmarkPipelinedIngest`)
+
+	// 0 → 0: clean pass, tabulated (not NoMetric).
+	d := diffReports(allocRep(0), allocRep(0), "allocs/op", 0, gate)
+	if len(d.NoMetric) != 0 || len(d.Rows) != 1 || len(d.Regressed) != 0 {
+		t.Fatalf("0→0 allocs: %+v", d)
+	}
+	var out strings.Builder
+	if exit := printDiff(&out, d, "allocs/op", 0); exit != 0 {
+		t.Fatalf("0→0 allocs exited %d\n%s", exit, out.String())
+	}
+
+	// 0 → 2: infinite regression, fails even a huge threshold.
+	d = diffReports(allocRep(0), allocRep(2), "allocs/op", 1e9, gate)
+	if len(d.Regressed) != 1 {
+		t.Fatalf("0→2 allocs not regressed: %+v", d)
+	}
+	out.Reset()
+	if exit := printDiff(&out, d, "allocs/op", 1e9); exit != 1 {
+		t.Fatalf("0→2 allocs exited %d\n%s", exit, out.String())
+	}
+
+	// 2 → 0: an improvement, never fails.
+	d = diffReports(allocRep(2), allocRep(0), "allocs/op", 0, gate)
+	if len(d.Regressed) != 0 {
+		t.Fatalf("2→0 allocs flagged: %+v", d.Regressed)
+	}
+}
+
+// TestMetricAliases pins the -metric shorthands.
+func TestMetricAliases(t *testing.T) {
+	for in, want := range map[string]string{
+		"ns": "ns/op", "bytes": "B/op", "allocs": "allocs/op",
+		"ns/op": "ns/op", "MB/s": "MB/s", "upd/ms": "upd/ms",
+	} {
+		if got := canonicalMetric(in); got != want {
+			t.Errorf("canonicalMetric(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -10,6 +10,8 @@
 //
 //	freqd -algo SSH -phi 0.001 -addr :8080
 //	freqd -algo CM -phi 0.01 -shards 8 -staleness 250ms
+//	freqd -algo SSH -phi 0.001 -shards 8 -pipeline    # lock-free staged ingest plane
+//	freqd -algo SSH -phi 0.001 -pipeline -pprof :6060 # with mutex/block profiling
 //	freqd -algo SSH -phi 0.001 -data-dir /var/lib/freqd -fsync interval -checkpoint-every 1m
 //	freqd -window 1000000 -window-blocks 10 -phi 0.001    # heavy hitters over the last 1M items
 //
@@ -48,8 +50,10 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only on -pprof
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -67,8 +71,10 @@ func main() {
 		phi       = flag.Float64("phi", 0.001, "provision the summary for thresholds down to phi")
 		seed      = flag.Uint64("seed", 1, "hash seed for sketches")
 		shards    = flag.Int("shards", 1, "ingest shards (power of two; 1 = single mutex)")
+		pipeline  = flag.Bool("pipeline", false, "lock-free ingest plane: stage batches into per-shard rings, apply via drainer goroutines (see -shards)")
 		staleness = flag.Duration("staleness", 100*time.Millisecond, "query snapshot staleness bound (0 = always fresh)")
 		batch     = flag.Int("batch", 0, "ingest batch length (0 = default)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof (with mutex and block profiling) on this address (empty = off)")
 
 		windowLen = flag.Int("window", 0, "serve heavy hitters over the last W items instead of the whole stream (0 = whole-stream)")
 		windowB   = flag.Int("window-blocks", 8, "block count of the sliding window (W must be a multiple of it)")
@@ -81,10 +87,24 @@ func main() {
 	)
 	flag.Parse()
 
-	target, store, label, err := buildTarget(*algo, *phi, *seed, *shards, *staleness,
+	target, store, label, err := buildTarget(*algo, *phi, *seed, *shards, *pipeline, *staleness,
 		*windowLen, *windowB, *dataDir, *fsyncMode, *fsyncEvery)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *pprofAddr != "" {
+		// Profile the things a lock-free ingest plane is built to
+		// eliminate: mutex profiling shows who still holds summary
+		// locks, block profiling shows where writers wait on the rings.
+		runtime.SetMutexProfileFraction(5)
+		runtime.SetBlockProfileRate(100_000) // sample blocking events ≥100µs
+		go func() {
+			fmt.Printf("freqd: pprof on %s\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "freqd: pprof:", err)
+			}
+		}()
 	}
 	srv := serve.NewServer(serve.Options{Target: target, Algo: label, IngestBatch: *batch, Store: store, MaxLag: *maxLag})
 
@@ -102,6 +122,9 @@ func main() {
 	}
 
 	fmt.Printf("freqd: serving %s (phi=%g, shards=%d, staleness=%v", label, *phi, *shards, *staleness)
+	if *pipeline {
+		fmt.Printf(", pipelined ingest")
+	}
 	if *windowLen > 0 {
 		fmt.Printf(", window=%d/%d blocks", *windowLen, *windowB)
 	}
@@ -112,13 +135,18 @@ func main() {
 	err = srv.ListenAndServe(*addr, stop)
 	if store != nil {
 		// Flush a final checkpoint and seal the log: a clean shutdown
-		// leaves nothing to replay.
+		// leaves nothing to replay. For the pipelined plane the
+		// checkpoint barrier drains the staging rings first, so the
+		// checkpoint covers every acknowledged batch.
 		if _, cerr := store.Checkpoint(target.(persist.Target)); cerr != nil {
 			fmt.Fprintln(os.Stderr, "freqd: final checkpoint:", cerr)
 		}
 		if cerr := store.Close(); cerr != nil {
 			fmt.Fprintln(os.Stderr, "freqd: closing log:", cerr)
 		}
+	}
+	if p, ok := target.(*core.Pipelined); ok {
+		p.Close()
 	}
 	if err != nil && err != http.ErrServerClosed {
 		fatal(err)
@@ -143,17 +171,17 @@ func checkpointLoop(store *persist.Store, target persist.Target, every time.Dura
 	}
 }
 
-// buildTarget wraps a registry summary for serving: Sharded across
-// power-of-two shards when asked, plain Concurrent otherwise; with
-// -window set, the summary is the sliding-window Space-Saving ("SSW")
-// and queries answer over the last W items. With a data directory it
-// also opens the durability layer in the startup order recovery
-// requires — construct, recover, wire the WAL, then enable snapshot
-// serving. The returned label is the effective algorithm name — the
-// -algo code, or "SSW" in windowed mode — and is the single source for
-// both the serving layer's Algo and the checkpoint's mode-exclusive
-// algo stamp.
-func buildTarget(algo string, phi float64, seed uint64, shards int, staleness time.Duration,
+// buildTarget wraps a registry summary for serving: the lock-free
+// Pipelined ingest plane with -pipeline, Sharded across power-of-two
+// shards when asked, plain Concurrent otherwise; with -window set, the
+// summary is the sliding-window Space-Saving ("SSW") and queries
+// answer over the last W items. With a data directory it also opens
+// the durability layer in the startup order recovery requires —
+// construct, recover, wire the WAL, then enable snapshot serving. The
+// returned label is the effective algorithm name — the -algo code, or
+// "SSW" in windowed mode — and is the single source for both the
+// serving layer's Algo and the checkpoint's mode-exclusive algo stamp.
+func buildTarget(algo string, phi float64, seed uint64, shards int, pipeline bool, staleness time.Duration,
 	windowLen, windowBlocks int, dataDir, fsyncMode string, fsyncEvery time.Duration) (serve.Target, *persist.Store, string, error) {
 	if _, err := streamfreq.New(algo, phi, seed); err != nil {
 		return nil, nil, "", err // validate algo/phi before wrapping
@@ -177,12 +205,19 @@ func buildTarget(algo string, phi float64, seed uint64, shards int, staleness ti
 		if shards != 1 {
 			return nil, nil, "", fmt.Errorf("-window is single-shard; drop -shards %d", shards)
 		}
+		if pipeline {
+			return nil, nil, "", fmt.Errorf("-window is one summary with internal blocks; drop -pipeline")
+		}
 		win, err := streamfreq.NewWindowedForPhi(phi, windowLen, windowBlocks)
 		if err != nil {
 			return nil, nil, "", err
 		}
 		label = "SSW" // a windowed data dir never restores into a flat summary
 		durable = core.NewConcurrent(win)
+	case pipeline:
+		durable = core.NewPipelined(shards, func() core.Summary {
+			return streamfreq.MustNew(algo, phi, seed)
+		})
 	case shards > 1:
 		durable = core.NewSharded(shards, func() core.Summary {
 			return streamfreq.MustNew(algo, phi, seed)
@@ -220,6 +255,8 @@ func buildTarget(algo string, phi float64, seed uint64, shards int, staleness ti
 	}
 
 	switch t := durable.(type) {
+	case *core.Pipelined:
+		return t.ServeSnapshots(staleness), store, label, nil
 	case *core.Sharded:
 		return t.ServeSnapshots(staleness), store, label, nil
 	default:

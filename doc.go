@@ -46,6 +46,24 @@
 // GET /topk, point estimates on GET /estimate, and snapshot freshness on
 // GET /stats.
 //
+// # Lock-free ingest plane
+//
+// For write-heavy deployments, NewPipelined replaces the locked
+// Sharded scatter with staged ingest: writers claim one global stream
+// position with an atomic add, append to the write-ahead log at that
+// ticket, stage the batch into per-shard bounded rings (internal/ring,
+// sequence-stamped slots in the Vyukov MPSC style), and return; one
+// drainer goroutine per shard applies slots strictly in claimed order.
+// Per-shard apply order therefore equals global claim order, which
+// makes the plane a drop-in: single-writer pipelined ingest is
+// bit-identical to sequential Sharded ingest, the WAL is never behind
+// memory (append happens before staging), checkpoints and snapshot
+// refreshes quiesce the rings at an exact cross-shard cut, and the
+// steady-state hot path allocates nothing (slot buffers are reused
+// after the first ring wrap; CI gates allocs/op at zero). freqd
+// -pipeline serves it; freqbench -writers measures it against the
+// locked plane.
+//
 // # Durability
 //
 // The serving stack is durable when given a data directory

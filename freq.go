@@ -174,6 +174,17 @@ func NewSharded(shards int, factory func() Summary) *core.Sharded {
 	return core.NewSharded(shards, factory)
 }
 
+// NewPipelined builds the lock-free ingest plane: updates are staged
+// into per-shard MPSC rings and applied in claimed stream order by one
+// drainer goroutine per shard, so concurrent writers never contend on
+// a summary mutex while keeping ingest bit-identical to sequential
+// batching. Same factory contract as NewSharded; call Close to stop
+// the drainers. See core.Pipelined for the ordering and durability
+// guarantees.
+func NewPipelined(shards int, factory func() Summary) *core.Pipelined {
+	return core.NewPipelined(shards, factory)
+}
+
 // NewWindow returns a sliding-window heavy-hitter summary over the most
 // recent size items, using blocks Space-Saving summaries of k counters
 // each (extension; see internal/window).

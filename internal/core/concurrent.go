@@ -266,14 +266,16 @@ type Sharded struct {
 	shards []*Concurrent
 	mask   uint64
 	bufs   sync.Pool // *shardScatter, reused across UpdateBatch calls
-	// scatterBytes is the high-water footprint of one scatter-buffer
-	// set, charged by Bytes. It is an estimate in both directions, as
-	// the pool's contents are not enumerable: W concurrently-active
-	// batch writers can keep up to W sets pooled (undercharged), and a
-	// GC that discards pooled sets does not reset the mark
-	// (overcharged). Summary.Bytes is documented as approximate; this
-	// keeps batching's resident cost visible at the usual one-writer
-	// or few-writer scale.
+	// scatterBytes estimates the footprint of one pooled
+	// scatter-buffer set, charged by Bytes. It is an estimate in both
+	// directions, as the pool's contents are not enumerable: W
+	// concurrently-active batch writers can keep up to W sets pooled
+	// (undercharged), and a GC that discards pooled sets does not
+	// reset the mark (overcharged). It rises immediately to the
+	// retained capacity of the set a batch just returned and decays
+	// geometrically toward smaller sets, so one outlier batch stops
+	// dominating the estimate once its oversized buffers are shed
+	// (buffers past maxScatterRetain are not pooled at all).
 	scatterBytes atomic.Int64
 
 	// Snapshot serving state, mirroring Concurrent: version counts
@@ -340,6 +342,13 @@ func (v *shardedSnapshot) N() int64 {
 type shardScatter struct {
 	perShard [][]Item
 }
+
+// maxScatterRetain bounds the per-shard scatter buffer capacity a
+// batch may leave pooled, in items: one huge batch would otherwise pin
+// its full per-shard capacity in the pool forever. Buffers grown past
+// two default batches are dropped on Put and reallocated (amortized)
+// by the next oversized batch.
+const maxScatterRetain = 2 * DefaultBatchSize
 
 // NewSharded builds a sharded summary with shards power-of-two workers.
 func NewSharded(shards int, factory func() Summary) *Sharded {
@@ -436,18 +445,30 @@ func (s *Sharded) UpdateBatch(items []Item) {
 		i := shardIndex(x, s.mask)
 		sc.perShard[i] = append(sc.perShard[i], x)
 	}
-	var scatterCap int64
+	var retained int64
 	for i, buf := range sc.perShard {
-		scatterCap += int64(cap(buf)) * 8
-		if len(buf) == 0 {
+		if len(buf) > 0 {
+			s.shards[i].UpdateBatch(buf)
+		}
+		if cap(buf) > maxScatterRetain {
+			// Shed: an outlier batch must not pin its capacity in the
+			// pool for the rest of the process lifetime.
+			sc.perShard[i] = nil
 			continue
 		}
-		s.shards[i].UpdateBatch(buf)
+		retained += int64(cap(buf)) * 8
 		sc.perShard[i] = buf[:0]
 	}
+	// Settle the footprint estimate: rise immediately to what this call
+	// put back, decay by quarters otherwise, so the estimate follows
+	// shed buffers back down instead of latching the high-water mark.
 	for {
 		old := s.scatterBytes.Load()
-		if scatterCap <= old || s.scatterBytes.CompareAndSwap(old, scatterCap) {
+		est := old - old>>2
+		if retained > est {
+			est = retained
+		}
+		if est == old || s.scatterBytes.CompareAndSwap(old, est) {
 			break
 		}
 	}
@@ -610,8 +631,9 @@ func (s *Sharded) Query(threshold int64) []ItemCount {
 }
 
 // Bytes sums the shard footprints plus the retained scatter scratch
-// (the high-water mark of one scatter-buffer set; see scatterBytes for
-// the estimate's limits) and, when serving, the retained snapshot views.
+// (a decaying estimate of one pooled scatter-buffer set; see
+// scatterBytes for the estimate's limits) and, when serving, the
+// retained snapshot views.
 func (s *Sharded) Bytes() int {
 	total := int(s.scatterBytes.Load())
 	for _, sh := range s.shards {

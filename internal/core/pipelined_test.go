@@ -1,0 +1,334 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// logSummary records every applied update in arrival order — the
+// sharpest possible probe for the pipelined plane's ordering claim,
+// since any reordering (not just a different final state) shows up.
+type logSummary struct {
+	ops []ItemCount
+	n   int64
+}
+
+func (s *logSummary) Update(x Item, c int64) {
+	s.ops = append(s.ops, ItemCount{Item: x, Count: c})
+	s.n += c
+}
+func (s *logSummary) Estimate(x Item) int64 {
+	var c int64
+	for _, op := range s.ops {
+		if op.Item == x {
+			c += op.Count
+		}
+	}
+	return c
+}
+func (s *logSummary) N() int64     { return s.n }
+func (s *logSummary) Bytes() int   { return 16 * len(s.ops) }
+func (s *logSummary) Name() string { return "oplog" }
+func (s *logSummary) Query(threshold int64) []ItemCount {
+	return nil
+}
+func (s *logSummary) Snapshot() Summary {
+	return &logSummary{ops: append([]ItemCount(nil), s.ops...), n: s.n}
+}
+
+// Snapshot lets barrier-based tests clone mapSummary (defined in
+// core_test.go) through the quiesce machinery.
+func (s *mapSummary) Snapshot() Summary {
+	c := newMapSummary()
+	for k, v := range s.m {
+		c.m[k] = v
+	}
+	c.n = s.n
+	return c
+}
+
+// pipeStream builds a deterministic mixed-skew stream.
+func pipeStream(n int) []Item {
+	items := make([]Item, n)
+	v := uint64(0x9E3779B97F4A7C15)
+	for i := range items {
+		v ^= v << 13
+		v ^= v >> 7
+		v ^= v << 17
+		// Low-cardinality head plus a random tail, so shards see both
+		// repeated heavy items and spread-out light ones.
+		if v%4 == 0 {
+			items[i] = Item(v % 17)
+		} else {
+			items[i] = Item(v)
+		}
+	}
+	return items
+}
+
+// TestPipelinedOrderMatchesSequential pins the bit-level ordering
+// claim on a per-update log: a single writer's batches through tiny
+// 4-slot rings (forcing wrap and backpressure) must produce, in every
+// shard, exactly the op sequence a sequential scatter produces.
+func TestPipelinedOrderMatchesSequential(t *testing.T) {
+	const shards = 4
+	p := newPipelined(shards, 4, func() Summary { return &logSummary{} })
+	stream := pipeStream(20_000)
+	var batches [][]Item
+	for i := 0; i < len(stream); {
+		n := 1 + (i*7)%613 // uneven batch boundaries
+		if i+n > len(stream) {
+			n = len(stream) - i
+		}
+		batches = append(batches, stream[i:i+n])
+		i += n
+	}
+	for _, b := range batches {
+		p.UpdateBatch(b)
+	}
+	p.Close()
+
+	want := make([][]ItemCount, shards)
+	for _, b := range batches {
+		for _, x := range b {
+			i := shardIndex(x, p.mask)
+			want[i] = append(want[i], ItemCount{Item: x, Count: 1})
+		}
+	}
+	for i := 0; i < shards; i++ {
+		got := p.shards[i].(*logSummary).ops
+		if len(got) != len(want[i]) {
+			t.Fatalf("shard %d applied %d ops, want %d", i, len(got), len(want[i]))
+		}
+		for j := range got {
+			if got[j] != want[i][j] {
+				t.Fatalf("shard %d op %d = %+v, want %+v — pipelined apply order diverged", i, j, got[j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestPipelinedConcurrentWriters hammers the plane with 8 writers over
+// tiny rings and checks the commutative ground truth: every item's
+// exact count and the total stream position survive arbitrary claim
+// interleavings.
+func TestPipelinedConcurrentWriters(t *testing.T) {
+	const writers, perWriter, batch = 8, 5_000, 64
+	p := newPipelined(4, 4, newMapSummaryFactory())
+	defer p.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]Item, 0, batch)
+			for i := 0; i < perWriter; i++ {
+				buf = append(buf, Item(i%100))
+				if len(buf) == batch {
+					p.UpdateBatch(buf)
+					buf = buf[:0]
+				}
+			}
+			p.UpdateBatch(buf)
+		}(w)
+	}
+	wg.Wait()
+	p.Drain()
+	const total = writers * perWriter
+	if got := p.N(); got != total {
+		t.Fatalf("applied N = %d, want %d", got, total)
+	}
+	if got := p.LiveN(); got != total {
+		t.Fatalf("LiveN = %d, want %d", got, total)
+	}
+	for x := 0; x < 100; x++ {
+		want := int64(writers * perWriter / 100)
+		if got := p.Estimate(Item(x)); got != want {
+			t.Fatalf("Estimate(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func newMapSummaryFactory() func() Summary {
+	return func() Summary { return newMapSummary() }
+}
+
+// TestPipelinedBarrierNeverSplitsABatch runs barriers (snapshot
+// refreshes and raw SnapshotBarrier cuts) concurrently with writers
+// that only ever push batches of one fixed size: every barrier must
+// observe a cross-shard position that is a whole number of batches,
+// and successive observations must be monotone.
+func TestPipelinedBarrierNeverSplitsABatch(t *testing.T) {
+	const batch = 97
+	p := newPipelined(4, 4, newMapSummaryFactory())
+	defer p.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]Item, batch)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for j := range buf {
+					buf[j] = Item(w*1_000_000 + i*batch + j)
+				}
+				p.UpdateBatch(buf)
+			}
+		}(w)
+	}
+	var last int64
+	for round := 0; round < 200; round++ {
+		var n int64
+		for _, v := range p.SnapshotBarrier(func(cut int64) { n = cut }) {
+			_ = v
+		}
+		if n%batch != 0 {
+			t.Fatalf("barrier cut at n=%d, not a multiple of the %d-item batch: a batch was split", n, batch)
+		}
+		if n < last {
+			t.Fatalf("barrier cut went backwards: %d after %d", n, last)
+		}
+		last = n
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestPipelinedServingSnapshots pins the serving protocol: a refresh
+// is claim-exact, a clean plane re-serves the same view without a new
+// barrier, and a write dirties it.
+func TestPipelinedServingSnapshots(t *testing.T) {
+	p := NewPipelined(4, newMapSummaryFactory()).ServeSnapshots(time.Hour)
+	defer p.Close()
+	stream := pipeStream(10_000)
+	for i := 0; i < len(stream); i += 500 {
+		p.UpdateBatch(stream[i : i+500])
+	}
+	view := p.RefreshSnapshot()
+	if view.N() != int64(len(stream)) {
+		t.Fatalf("refreshed view N = %d, want %d (refresh must include every acknowledged batch)", view.N(), len(stream))
+	}
+	if again := p.ServingView(); again != view {
+		t.Fatalf("clean plane re-cloned its serving view")
+	}
+	p.UpdateBatch(stream[:100])
+	if st := p.SnapshotStats(); !st.Serving {
+		t.Fatal("SnapshotStats lost the serving flag")
+	}
+	if v2 := p.RefreshSnapshot(); v2.N() != int64(len(stream))+100 {
+		t.Fatalf("second refresh N = %d, want %d", v2.N(), len(stream)+100)
+	}
+}
+
+// TestPipelinedCloseThenFallback: Close drains everything acknowledged
+// and later writes still land through the synchronous path.
+func TestPipelinedCloseThenFallback(t *testing.T) {
+	p := newPipelined(2, 4, newMapSummaryFactory())
+	stream := pipeStream(5_000)
+	p.UpdateBatch(stream)
+	p.Close()
+	p.Close() // idempotent
+	if got := p.N(); got != int64(len(stream)) {
+		t.Fatalf("after Close, applied N = %d, want %d", got, len(stream))
+	}
+	p.UpdateBatch(stream[:250])
+	p.Update(Item(1), 3)
+	want := int64(len(stream)) + 250 + 3
+	if got, live := p.N(), p.LiveN(); got != want || live != want {
+		t.Fatalf("post-Close writes: N=%d LiveN=%d, want %d", got, live, want)
+	}
+	if views := p.SnapshotBarrier(nil); len(views) != 2 {
+		t.Fatalf("post-Close SnapshotBarrier returned %d views, want 2", len(views))
+	}
+}
+
+// TestPipelinedCloseRacesWriters closes the plane while writers are
+// mid-stream: every acknowledged item must be applied exactly once,
+// whichever side of the stop each batch landed on.
+func TestPipelinedCloseRacesWriters(t *testing.T) {
+	p := newPipelined(4, 4, newMapSummaryFactory())
+	var wg sync.WaitGroup
+	var sent int64
+	var mu sync.Mutex
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]Item, 32)
+			var mine int64
+			for i := 0; i < 200; i++ {
+				for j := range buf {
+					buf[j] = Item(j)
+				}
+				p.UpdateBatch(buf)
+				mine += int64(len(buf))
+			}
+			mu.Lock()
+			sent += mine
+			mu.Unlock()
+		}(w)
+	}
+	time.Sleep(time.Millisecond)
+	p.Close()
+	wg.Wait()
+	if got := p.N(); got != sent || p.LiveN() != sent {
+		t.Fatalf("after racing Close: N=%d LiveN=%d, want %d", got, p.LiveN(), sent)
+	}
+}
+
+// TestPipelinedRestoreState pins the setup-time restore path.
+func TestPipelinedRestoreState(t *testing.T) {
+	p := NewPipelined(2, newMapSummaryFactory())
+	defer p.Close()
+	if err := p.RestoreState([]Summary{newMapSummary()}); err == nil {
+		t.Fatal("restore with wrong shard count did not error")
+	}
+	a, b := newMapSummary(), newMapSummary()
+	a.Update(Item(1), 5)
+	b.Update(Item(2), 7)
+	if err := p.RestoreState([]Summary{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.LiveN(); got != 12 {
+		t.Fatalf("LiveN after restore = %d, want 12", got)
+	}
+	if got := p.N(); got != 12 {
+		t.Fatalf("N after restore = %d, want 12", got)
+	}
+}
+
+// TestPipelinedRejectsBadShardCount pins the power-of-two contract.
+func TestPipelinedRejectsBadShardCount(t *testing.T) {
+	for _, shards := range []int{0, -2, 3, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPipelined(%d) did not panic", shards)
+				}
+			}()
+			NewPipelined(shards, newMapSummaryFactory())
+		}()
+	}
+}
+
+// TestPipelinedName pins the wrapper suffix the serving layer reports.
+func TestPipelinedName(t *testing.T) {
+	p := NewPipelined(2, newMapSummaryFactory())
+	defer p.Close()
+	if got, want := p.Name(), "map-pipelined"; got != want {
+		t.Fatalf("Name = %q, want %q", got, want)
+	}
+	st := p.PipelineStats()
+	if st.Shards != 2 || st.RingCapacity != DefaultRingCapacity {
+		t.Fatalf("PipelineStats = %+v", st)
+	}
+	_ = fmt.Sprintf("%+v", st)
+}

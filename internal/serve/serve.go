@@ -83,6 +83,13 @@ type windowStatser interface {
 	WindowStats() window.Stats
 }
 
+// pipelineStatser is the observability surface of the pipelined ingest
+// plane (core.Pipelined); /stats reports the claimed/applied positions
+// and staging footprint when present.
+type pipelineStatser interface {
+	PipelineStats() core.PipelineStats
+}
+
 // view returns the read state for one request: the target's current
 // serving epoch when it has one, else the target itself (any Summary
 // satisfies ReadView; without snapshot serving, reads lock per call and
@@ -410,6 +417,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"coverage":         wst.Coverage,
 			"slack":            wst.Slack,
 			"boundary_expired": wst.BoundaryExpired,
+		}
+	}
+	if ps, ok := s.target.(pipelineStatser); ok {
+		// The target is the pipelined ingest plane: surface the
+		// acknowledged-vs-applied gap (the staged in-flight backlog)
+		// and the staging rings' footprint.
+		pst := ps.PipelineStats()
+		resp["pipeline"] = map[string]any{
+			"shards":        pst.Shards,
+			"ring_capacity": pst.RingCapacity,
+			"claimed_n":     pst.ClaimedN,
+			"applied_n":     pst.AppliedN,
+			"staged":        pst.ClaimedN - pst.AppliedN,
+			"ring_bytes":    pst.RingBytes,
 		}
 	}
 	if s.store != nil {

@@ -443,3 +443,67 @@ func TestSummaryEndpointSharded(t *testing.T) {
 		t.Fatalf("decoded %s with N=%d, want SSL with N=%d", decoded.Name(), decoded.N(), len(items))
 	}
 }
+
+// TestFreqdPipelinedTarget serves the lock-free ingest plane end to
+// end: wire ingest lands through the staging rings, /topk answers over
+// the full stream after a refresh, and /stats surfaces the pipeline
+// section (claimed vs applied positions, ring bytes).
+func TestFreqdPipelinedTarget(t *testing.T) {
+	const phi, streamN = 0.001, 100_000
+	p := core.NewPipelined(4, func() core.Summary {
+		return streamfreq.MustNew("SSH", phi, 1)
+	}).ServeSnapshots(5 * time.Millisecond)
+	defer p.Close()
+	srv := serve.NewServer(serve.Options{Target: p, Algo: "SSH"})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	g, err := zipf.NewGenerator(1<<16, 1.1, 0xFEED, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := g.Stream(streamN)
+	const chunk = 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ { // two concurrent ingest clients
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for lo := w * chunk; lo < len(items); lo += 2 * chunk {
+				hi := min(lo+chunk, len(items))
+				postOK(t, ts.URL+"/ingest", "application/octet-stream", stream.AppendRaw(nil, items[lo:hi]))
+			}
+		}(w)
+	}
+	wg.Wait()
+	postOK(t, ts.URL+"/refresh", "application/json", nil)
+
+	var tr topkResponse
+	getJSON(t, ts.URL+fmt.Sprintf("/topk?phi=%g", phi), &tr)
+	if tr.N != streamN {
+		t.Fatalf("/topk n = %d, want %d (refresh must barrier every staged batch)", tr.N, streamN)
+	}
+
+	var st struct {
+		N        int64 `json:"n"`
+		Pipeline struct {
+			Shards       int   `json:"shards"`
+			RingCapacity int   `json:"ring_capacity"`
+			ClaimedN     int64 `json:"claimed_n"`
+			AppliedN     int64 `json:"applied_n"`
+			Staged       int64 `json:"staged"`
+			RingBytes    int   `json:"ring_bytes"`
+		} `json:"pipeline"`
+	}
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Pipeline.Shards != 4 || st.Pipeline.RingCapacity != core.DefaultRingCapacity {
+		t.Fatalf("/stats pipeline = %+v, want 4 shards at the default ring capacity", st.Pipeline)
+	}
+	if st.Pipeline.ClaimedN != streamN {
+		t.Fatalf("/stats pipeline claimed_n = %d, want %d", st.Pipeline.ClaimedN, streamN)
+	}
+	if st.Pipeline.AppliedN+st.Pipeline.Staged != st.Pipeline.ClaimedN {
+		t.Fatalf("/stats pipeline applied+staged = %d+%d, want claimed %d",
+			st.Pipeline.AppliedN, st.Pipeline.Staged, st.Pipeline.ClaimedN)
+	}
+}
