@@ -300,6 +300,66 @@ func TestDiffGatedMissingFails(t *testing.T) {
 	}
 }
 
+// TestDiffGatedMissingIgnoresThreshold: the missing-gated-key failure
+// is categorical, not a regression past a percentage — a key benchmark
+// that stopped running has no delta to compare, so even a -threshold
+// wide enough to absorb any slowdown (100%, or 1e9) must not rescue
+// the diff. Pinned separately from TestDiffGatedMissingFails because a
+// plausible refactor would fold MissingGated into Regressed and
+// silently inherit the threshold.
+func TestDiffGatedMissingIgnoresThreshold(t *testing.T) {
+	gate := regexp.MustCompile(`BenchmarkUpdateBatch`)
+	old := mkReport("p", "BenchmarkUpdateBatch/SSH-8", 100.0, "BenchmarkWALAppend/never-8", 50.0)
+	new := mkReport("p", "BenchmarkWALAppend/never-8", 50.0)
+
+	for _, threshold := range []float64{100, 1e9} {
+		d := diffReports(old, new, "ns/op", threshold, gate)
+		if len(d.MissingGated) != 1 || d.MissingGated[0] != "p›BenchmarkUpdateBatch/SSH" {
+			t.Fatalf("threshold %v: MissingGated = %v, want the gated key", threshold, d.MissingGated)
+		}
+		var out strings.Builder
+		if exit := printDiff(&out, d, "ns/op", threshold); exit != 1 {
+			t.Fatalf("threshold %v: exit = %d, want 1 — a vanished gated key is not a percentage\n%s",
+				threshold, exit, out.String())
+		}
+	}
+}
+
+// TestSuffixNormalization pins benchKey's suffix handling across the
+// run configurations CI actually mixes: plain runs, -race runs (which
+// keep the -GOMAXPROCS tail but often land on different core counts or
+// with -cpu pinned), and GOMAXPROCS=1 runs where go test emits no
+// suffix at all. The strip must take exactly one trailing -digits
+// group — sub-benchmark names that legitimately end in digits (a size
+// parameter like /n-1024) must keep them.
+func TestSuffixNormalization(t *testing.T) {
+	for _, tc := range []struct {
+		name, want string
+	}{
+		{"BenchmarkA-8", "p›BenchmarkA"},
+		{"BenchmarkA-4", "p›BenchmarkA"},               // different core count, same key
+		{"BenchmarkA", "p›BenchmarkA"},                 // GOMAXPROCS=1: no suffix emitted
+		{"BenchmarkA/n-1024-8", "p›BenchmarkA/n-1024"}, // only the final group strips
+		{"BenchmarkA/n-1024", "p›BenchmarkA/n"},        // no proc suffix: the size is the last group
+		{"BenchmarkA-8-4", "p›BenchmarkA-8"},
+	} {
+		r := Result{Name: tc.name, Package: "p"}
+		if got := benchKey(r); got != tc.want {
+			t.Errorf("benchKey(%q) = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+
+	// End to end: a -race run on a 2-core runner diffs cleanly against a
+	// plain 8-core seed, and a GOMAXPROCS=1 run against either.
+	old := mkReport("p", "BenchmarkUpdateBatch/SSH-8", 100.0)
+	for _, raceName := range []string{"BenchmarkUpdateBatch/SSH-2", "BenchmarkUpdateBatch/SSH"} {
+		d := diffReports(old, mkReport("p", raceName, 105.0), "ns/op", 15, nil)
+		if len(d.MissingInNew) != 0 || len(d.AddedInNew) != 0 || len(d.Rows) != 1 {
+			t.Fatalf("%q vs 8-core seed did not match up: %+v", raceName, d)
+		}
+	}
+}
+
 // TestDiffZeroBaseline pins the allocation-gate semantics: a 0-valued
 // seed metric is a measurement, not a skip — staying at 0 passes, and
 // growing from 0 is an infinite regression that fails a gated key at

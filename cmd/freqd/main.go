@@ -74,6 +74,7 @@ func main() {
 		pipeline  = flag.Bool("pipeline", false, "lock-free ingest plane: stage batches into per-shard rings, apply via drainer goroutines (see -shards)")
 		staleness = flag.Duration("staleness", 100*time.Millisecond, "query snapshot staleness bound (0 = always fresh)")
 		batch     = flag.Int("batch", 0, "ingest batch length (0 = default)")
+		epoch     = flag.Uint64("epoch", 0, "process epoch stamped on summaries and ingest acks (0 = draw from the clock); explicit values are for deterministic failover drills")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof (with mutex and block profiling) on this address (empty = off)")
 
 		windowLen = flag.Int("window", 0, "serve heavy hitters over the last W items instead of the whole stream (0 = whole-stream)")
@@ -106,7 +107,7 @@ func main() {
 			}
 		}()
 	}
-	srv := serve.NewServer(serve.Options{Target: target, Algo: label, IngestBatch: *batch, Store: store, MaxLag: *maxLag})
+	srv := serve.NewServer(serve.Options{Target: target, Algo: label, IngestBatch: *batch, Store: store, MaxLag: *maxLag, Epoch: *epoch})
 
 	stop := make(chan struct{})
 	sig := make(chan os.Signal, 1)

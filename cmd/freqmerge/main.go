@@ -9,6 +9,14 @@
 //
 //	freqmerge -nodes http://10.0.0.1:8080,http://10.0.0.2:8080 -addr :8090
 //	freqmerge -nodes node1:8080,node2:8080 -interval 500ms -algo SSH
+//	freqmerge -router http://10.0.0.9:8070 -addr :8090
+//
+// With -router the coordinator pulls the write tier's /shardmap instead
+// of taking -nodes: every replica of every shard is pulled, but the
+// serving view is partition-exact — exactly one replica per shard (the
+// most caught-up), routed by the tier's hash ring — so estimates carry
+// the per-partition error bound instead of merge-inflated noise, and
+// replicas are never double-counted.
 //
 // Query (identical to freqd):
 //
@@ -30,6 +38,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -41,30 +50,47 @@ import (
 
 	"streamfreq"
 	"streamfreq/internal/cluster"
+	"streamfreq/internal/router"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8090", "listen address")
-		nodes    = flag.String("nodes", "", "comma-separated freqd base URLs (required)")
-		interval = flag.Duration("interval", time.Second, "summary pull cadence")
-		timeout  = flag.Duration("timeout", 5*time.Second, "per-node pull timeout")
-		algo     = flag.String("algo", "", "required algorithm code; empty adopts the first node's")
-		maxStale = flag.Duration("max-stale", 0, "drop a node's contribution once its data is older than this (0 = serve stale forever)")
+		addr      = flag.String("addr", ":8090", "listen address")
+		nodes     = flag.String("nodes", "", "comma-separated freqd base URLs (this or -router is required)")
+		routerURL = flag.String("router", "", "freqrouter base URL: pull its /shardmap and serve partition-exactly")
+		interval  = flag.Duration("interval", time.Second, "summary pull cadence")
+		timeout   = flag.Duration("timeout", 5*time.Second, "per-node pull timeout")
+		algo      = flag.String("algo", "", "required algorithm code; empty adopts the first node's")
+		maxStale  = flag.Duration("max-stale", 0, "drop a node's contribution once its data is older than this (0 = serve stale forever)")
 	)
 	flag.Parse()
-	if *nodes == "" {
-		fatal(fmt.Errorf("-nodes is required (e.g. -nodes http://host1:8080,http://host2:8080)"))
+	switch {
+	case *nodes == "" && *routerURL == "":
+		fatal(fmt.Errorf("-nodes or -router is required (e.g. -nodes http://host1:8080,http://host2:8080)"))
+	case *nodes != "" && *routerURL != "":
+		fatal(fmt.Errorf("-nodes and -router are exclusive: the shard map already names every replica"))
 	}
 
-	coord, err := cluster.New(cluster.Options{
-		Nodes:        strings.Split(*nodes, ","),
+	opts := cluster.Options{
 		Interval:     *interval,
 		Timeout:      *timeout,
 		Algo:         *algo,
 		MaxStale:     *maxStale,
 		MergeEncoded: streamfreq.MergeEncoded,
-	})
+	}
+	if *routerURL != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		m, err := router.FetchShardMap(ctx, nil, *routerURL)
+		cancel()
+		if err != nil {
+			fatal(err)
+		}
+		opts.ShardMap = m
+	} else {
+		opts.Nodes = strings.Split(*nodes, ",")
+	}
+
+	coord, err := cluster.New(opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -78,8 +104,17 @@ func main() {
 		close(stop)
 	}()
 
-	fmt.Printf("freqmerge: aggregating %d nodes every %v on %s\n",
-		len(strings.Split(*nodes, ",")), *interval, *addr)
+	if opts.ShardMap != nil {
+		replicas := 0
+		for _, sh := range opts.ShardMap.Shards {
+			replicas += len(sh.Replicas)
+		}
+		fmt.Printf("freqmerge: partition-exact over %d shards (%d replicas) every %v on %s\n",
+			len(opts.ShardMap.Shards), replicas, *interval, *addr)
+	} else {
+		fmt.Printf("freqmerge: aggregating %d nodes every %v on %s\n",
+			len(opts.Nodes), *interval, *addr)
+	}
 	if err := coord.ListenAndServe(*addr, stop); err != nil && err != http.ErrServerClosed {
 		fatal(err)
 	}

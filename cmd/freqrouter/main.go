@@ -1,0 +1,132 @@
+// Command freqrouter is the partitioned write tier: it accepts the same
+// POST /ingest a freqd node does, consistent-hash-partitions the items
+// across shards, and fans each shard's sub-batch to every replica of
+// that shard — so write throughput scales with the shard count and a
+// dead replica costs availability of nothing (its peers keep the shard
+// acknowledged). Point clients at the router instead of a node; point a
+// freqmerge at the router's /shardmap and it serves the union stream
+// partition-exactly.
+//
+// Usage:
+//
+//	freqrouter -shard a=http://10.0.0.1:8080,http://10.0.0.2:8080 \
+//	           -shard b=http://10.0.0.3:8080,http://10.0.0.4:8080 \
+//	           -addr :8070
+//
+// Ingest (identical to freqd):
+//
+//	curl -X POST --data-binary @items.raw -H 'Content-Type: application/octet-stream' localhost:8070/ingest
+//
+// Tier state:
+//
+//	curl 'localhost:8070/stats'      # traffic, retries, shed counts, health
+//	curl 'localhost:8070/shardmap'   # the partition contract freqmerge pulls
+//	curl -X POST localhost:8070/probe  # health-sweep now (re-adopt recovered replicas)
+//
+// Failure semantics: a replica that exhausts its retries is marked down
+// and skipped (writes stop paying its timeouts) until a probe — or a
+// desperation attempt when its whole shard is down — re-adopts it; a
+// shard with every replica down is degraded and its items are shed
+// (counted, surfaced, acked with 503) while the rest of the tier keeps
+// accepting. A batch is acknowledged iff at least one replica of its
+// shard accepted it.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"streamfreq/internal/router"
+)
+
+// shardFlags collects repeated -shard name=url1,url2 declarations in
+// order (order matters: it is part of the ring contract only through
+// the IDs, but keeping declaration order makes /shardmap readable).
+type shardFlags []router.ShardConfig
+
+func (s *shardFlags) String() string { return fmt.Sprintf("%d shards", len(*s)) }
+
+func (s *shardFlags) Set(v string) error {
+	name, urls, ok := strings.Cut(v, "=")
+	if !ok || name == "" || urls == "" {
+		return fmt.Errorf("want name=url1,url2,..., got %q", v)
+	}
+	sc := router.ShardConfig{ID: name}
+	for _, u := range strings.Split(urls, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		sc.Replicas = append(sc.Replicas, u)
+	}
+	*s = append(*s, sc)
+	return nil
+}
+
+func main() {
+	var shards shardFlags
+	var (
+		addr    = flag.String("addr", ":8070", "listen address")
+		vnodes  = flag.Int("vnodes", 0, "virtual nodes per shard on the hash ring (0 = default)")
+		timeout = flag.Duration("timeout", 5*time.Second, "per-replica forward attempt timeout")
+		retries = flag.Int("retries", 2, "retries per replica before it is marked down")
+		backoff = flag.Duration("backoff", 50*time.Millisecond, "initial retry backoff (doubles per attempt)")
+		probe   = flag.Duration("probe", time.Second, "health-probe cadence for down replicas")
+		batch   = flag.Int("batch", 0, "ingest split batch length (0 = default)")
+	)
+	flag.Var(&shards, "shard", "shard declaration name=url1,url2,... (repeat per shard; required)")
+	flag.Parse()
+	if len(shards) == 0 {
+		fatal(fmt.Errorf("at least one -shard is required (e.g. -shard a=http://host1:8080,http://host2:8080)"))
+	}
+
+	rt, err := router.New(router.Options{
+		Shards:      shards,
+		VNodes:      *vnodes,
+		Timeout:     *timeout,
+		Retries:     *retries,
+		Backoff:     *backoff,
+		IngestBatch: *batch,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "freqrouter: %v, draining\n", s)
+		close(stop)
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go rt.Run(ctx, *probe)
+
+	replicas := 0
+	for _, sc := range shards {
+		replicas += len(sc.Replicas)
+	}
+	fmt.Printf("freqrouter: routing over %d shards (%d replicas, %d vnodes) on %s\n",
+		rt.Ring().Shards(), replicas, rt.Ring().VNodes(), *addr)
+	if err := rt.ListenAndServe(*addr, stop); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "freqrouter:", err)
+	os.Exit(1)
+}

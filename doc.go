@@ -108,6 +108,28 @@
 // Coordinators serve GET /summary themselves, so tiers stack. Merge
 // fidelity is pinned registry-wide by merge_test.go.
 //
+// # Partitioned writes
+//
+// Merging scales reads over independently-fed nodes; the router tier
+// (internal/router, cmd/freqrouter) scales writes. A consistent-hash
+// ring over the shard IDs assigns every item to exactly one shard, the
+// router splits each ingest batch along ring ownership, and forwards
+// each piece to its shard's replicas concurrently — so the shards hold
+// disjoint substreams and each one is an exact partition, not an
+// overlapping replica. That changes the serving math: a coordinator
+// given the router's shard map (freqmerge -router) answers Estimate
+// from the one shard that owns the item, at that shard's own substream
+// length n_p — a strictly tighter error envelope than φ·N — and never
+// merges partitions (merging would re-add the collision noise and
+// overestimate inflation that partitioning just removed). Replication
+// is for failover, not fan-in: a batch is acknowledged when at least
+// one replica of its shard accepted it, dead replicas are skipped and
+// re-adopted by epoch-aware probes, and the coordinator reads exactly
+// one replica per shard, so restarts never double-count. The chaos
+// wall (TestRouterKillRecover) kills a follower and a primary mid-run,
+// WAL-recovers both under new epochs, and requires the merged N to
+// equal the acknowledged arrivals exactly.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction results.
 package streamfreq

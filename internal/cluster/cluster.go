@@ -49,6 +49,7 @@ import (
 
 	"streamfreq/internal/core"
 	"streamfreq/internal/metrics"
+	"streamfreq/internal/router"
 	"streamfreq/internal/serve"
 )
 
@@ -90,6 +91,16 @@ type Options struct {
 	// and folds the decoded summaries itself via Snapshotter/Merger, so
 	// nothing is decoded twice.
 	MergeEncoded func(blobs ...[]byte) (core.Summary, error)
+	// ShardMap, when set, switches the coordinator to partitioned mode:
+	// Nodes is ignored and the topology comes from the write tier's
+	// published shard map (router.FetchShardMap) — every replica of
+	// every shard is pulled, but the serving view holds exactly one
+	// replica per shard (the highest acknowledged position), routed by
+	// the map's hash ring. Replicas of a shard saw the same substream,
+	// so merging or summing them would double-count; and the shards are
+	// disjoint partitions, so the view answers with per-partition error
+	// bounds instead of merge-inflated ones (see PartitionedView).
+	ShardMap *router.ShardMap
 	// Epoch identifies this coordinator process on its own GET /summary
 	// (coordinators stack); 0 draws one from the clock.
 	Epoch uint64
@@ -104,7 +115,8 @@ type Options struct {
 // without modifying it), so a rebuild can merge a reference to it
 // outside the lock.
 type nodeState struct {
-	url string
+	url   string
+	shard int // ring shard index in partitioned mode; -1 in flat mode
 
 	sum      core.Summary // last good decoded summary; nil until the first pull
 	n        int64        // its stream position
@@ -117,24 +129,28 @@ type nodeState struct {
 	restarts int64
 	lastErr  string // error of the most recent attempt; "" on success
 	dropped  bool   // excluded from the last rebuild by the -max-stale bound
+	picked   bool   // the replica serving its shard in the last partitioned rebuild
 }
 
 // mergedView is one immutable published epoch of the cluster-wide
-// merge: a single summary of every node's last good state. view is nil
-// when every known contribution was dropped by the freshness SLO — the
-// coordinator then serves the empty stream, exactly like before the
-// first pull.
+// serving state: a single merged summary in flat mode, a
+// PartitionedView in partitioned mode. view is nil when every known
+// contribution was dropped by the freshness SLO — the coordinator then
+// serves the empty stream, exactly like before the first pull.
 type mergedView struct {
-	view    core.Summary
+	view    core.ReadView
 	builtAt time.Time
 	fresh   int // nodes whose latest pull succeeded
 	have    int // nodes contributing (fresh or stale)
 	dropped int // nodes with data excluded by the -max-stale bound
+	missing int // shards with no usable contribution (partitioned mode)
 }
 
 // Coordinator pulls, merges, and serves; see the package comment.
 type Coordinator struct {
 	nodes    []*nodeState
+	ring     *router.Ring // non-nil in partitioned mode
+	shardIDs []string     // shard names, index-aligned with the ring
 	interval time.Duration
 	timeout  time.Duration
 	maxStale time.Duration
@@ -162,8 +178,8 @@ type Coordinator struct {
 // New validates opts and returns a Coordinator. No network traffic
 // happens until PullAll or Run.
 func New(opts Options) (*Coordinator, error) {
-	if len(opts.Nodes) == 0 {
-		return nil, fmt.Errorf("cluster: at least one node URL is required")
+	if len(opts.Nodes) == 0 && opts.ShardMap == nil {
+		return nil, fmt.Errorf("cluster: at least one node URL (or a shard map) is required")
 	}
 	if opts.MergeEncoded == nil {
 		return nil, fmt.Errorf("cluster: Options.MergeEncoded is required (streamfreq.MergeEncoded)")
@@ -191,20 +207,45 @@ func New(opts Options) (*Coordinator, error) {
 		meter:    metrics.NewMeter(),
 		start:    time.Now(),
 	}
-	seen := make(map[string]bool, len(opts.Nodes))
-	for _, u := range opts.Nodes {
+	seen := make(map[string]bool)
+	addNode := func(u string, shard int) error {
 		u = strings.TrimRight(strings.TrimSpace(u), "/")
 		if u == "" {
-			return nil, fmt.Errorf("cluster: empty node URL")
+			return fmt.Errorf("cluster: empty node URL")
 		}
 		if !strings.Contains(u, "://") {
 			u = "http://" + u
 		}
 		if seen[u] {
-			return nil, fmt.Errorf("cluster: duplicate node %s (its stream would be merged twice)", u)
+			return fmt.Errorf("cluster: duplicate node %s (its stream would be merged twice)", u)
 		}
 		seen[u] = true
-		c.nodes = append(c.nodes, &nodeState{url: u})
+		c.nodes = append(c.nodes, &nodeState{url: u, shard: shard})
+		return nil
+	}
+	if opts.ShardMap != nil {
+		ring, err := opts.ShardMap.Ring()
+		if err != nil {
+			return nil, err
+		}
+		c.ring = ring
+		for si, sh := range opts.ShardMap.Shards {
+			if len(sh.Replicas) == 0 {
+				return nil, fmt.Errorf("cluster: shard %q has no replicas in the shard map", sh.ID)
+			}
+			c.shardIDs = append(c.shardIDs, sh.ID)
+			for _, rep := range sh.Replicas {
+				if err := addNode(rep.URL, si); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return c, nil
+	}
+	for _, u := range opts.Nodes {
+		if err := addNode(u, -1); err != nil {
+			return nil, err
+		}
 	}
 	return c, nil
 }
@@ -312,6 +353,10 @@ func (c *Coordinator) PullAll(ctx context.Context) {
 func (c *Coordinator) rebuild() {
 	c.rebuildMu.Lock()
 	defer c.rebuildMu.Unlock()
+	if c.ring != nil {
+		c.rebuildPartitioned()
+		return
+	}
 	c.mu.Lock()
 	sums := make([]core.Summary, 0, len(c.nodes))
 	fresh, have, dropped := 0, 0, 0
@@ -364,6 +409,67 @@ func (c *Coordinator) rebuild() {
 	}
 	c.mergeErr = ""
 	c.merged.Store(&mergedView{view: merged, builtAt: time.Now(), fresh: fresh, have: have, dropped: dropped})
+	c.merges.Add(1)
+	c.meter.Add("merges.ok", 1)
+}
+
+// rebuildPartitioned publishes a PartitionedView: per shard, the
+// contribution with the highest acknowledged position among replicas
+// that have data and are inside the freshness SLO. Replicas of a shard
+// saw the same substream, so exactly one is chosen (never merged or
+// summed); the highest position is the most caught-up survivor, which
+// under the router's failover guarantee holds every acknowledged item
+// of the shard — a recovered-but-behind replica is pulled and tracked,
+// but not chosen until it catches up. The stored summaries are replaced
+// wholesale by pulls, never mutated, so the published view can hold
+// references to them across cycles.
+func (c *Coordinator) rebuildPartitioned() {
+	c.mu.Lock()
+	best := make([]*nodeState, c.ring.Shards())
+	fresh, have, dropped, missing := 0, 0, 0, 0
+	anyData := false
+	for _, ns := range c.nodes {
+		ns.dropped = false
+		ns.picked = false
+		if ns.sum == nil {
+			continue
+		}
+		anyData = true
+		if c.maxStale > 0 && time.Since(ns.lastPull) > c.maxStale {
+			ns.dropped = true
+			dropped++
+			continue
+		}
+		if b := best[ns.shard]; b == nil || ns.n > b.n {
+			best[ns.shard] = ns
+		}
+	}
+	shards := make([]core.Summary, c.ring.Shards())
+	var total int64
+	for si, b := range best {
+		if b == nil {
+			missing++
+			continue
+		}
+		b.picked = true
+		shards[si] = b.sum
+		total += b.n
+		have++
+		if b.lastErr == "" {
+			fresh++
+		}
+	}
+	c.mergeErr = ""
+	c.mu.Unlock()
+
+	if !anyData {
+		return // before the first good pull: keep serving the empty stream
+	}
+	c.merged.Store(&mergedView{
+		view:    &PartitionedView{ring: c.ring, shards: shards, n: total},
+		builtAt: time.Now(),
+		fresh:   fresh, have: have, dropped: dropped, missing: missing,
+	})
 	c.merges.Add(1)
 	c.meter.Add("merges.ok", 1)
 }
@@ -440,7 +546,12 @@ func (c *Coordinator) Query(threshold int64) []core.ItemCount {
 
 // NodeStats is one node's row in Stats.
 type NodeStats struct {
-	URL      string
+	URL string
+	// Shard is the shard ID this node replicates in partitioned mode
+	// ("" in flat mode); Picked whether it is the replica chosen to
+	// serve that shard in the current view.
+	Shard    string
+	Picked   bool
 	Algo     string
 	N        int64
 	Epoch    uint64
@@ -476,21 +587,32 @@ type Stats struct {
 	Dropped  int           // nodes excluded from the serving view by -max-stale
 	MaxStale time.Duration // the freshness SLO (0 = serve stale forever)
 	Uptime   time.Duration
+	// Partitioned mode: the shard count of the write tier's map, and
+	// how many shards have no usable contribution in the serving view
+	// (their key ranges answer zero).
+	Partitioned bool
+	Shards      int
+	Missing     int
 }
 
 // Stats reports the per-node and merged state.
 func (c *Coordinator) Stats() Stats {
 	c.mu.Lock()
 	st := Stats{
-		Algo:     c.algo,
-		Epoch:    c.epoch,
-		MergeErr: c.mergeErr,
-		MaxStale: c.maxStale,
-		Uptime:   time.Since(c.start),
+		Algo:        c.algo,
+		Epoch:       c.epoch,
+		MergeErr:    c.mergeErr,
+		MaxStale:    c.maxStale,
+		Uptime:      time.Since(c.start),
+		Partitioned: c.ring != nil,
+	}
+	if c.ring != nil {
+		st.Shards = c.ring.Shards()
 	}
 	for _, ns := range c.nodes {
 		row := NodeStats{
 			URL:      ns.url,
+			Picked:   ns.picked,
 			Algo:     ns.algo,
 			N:        ns.n,
 			Epoch:    ns.epoch,
@@ -501,6 +623,9 @@ func (c *Coordinator) Stats() Stats {
 			Stale:    ns.sum != nil && ns.lastErr != "",
 			Dropped:  ns.dropped,
 			LastErr:  ns.lastErr,
+		}
+		if ns.shard >= 0 && ns.shard < len(c.shardIDs) {
+			row.Shard = c.shardIDs[ns.shard]
 		}
 		if !ns.lastPull.IsZero() {
 			row.Age = time.Since(ns.lastPull)
@@ -516,6 +641,7 @@ func (c *Coordinator) Stats() Stats {
 		}
 		st.MergeAge = time.Since(v.builtAt)
 		st.Fresh, st.Have, st.Dropped = v.fresh, v.have, v.dropped
+		st.Missing = v.missing
 	}
 	return st
 }

@@ -23,6 +23,7 @@ import (
 	"streamfreq/internal/core"
 	"streamfreq/internal/serve"
 	"streamfreq/internal/stream"
+	"streamfreq/internal/testutil"
 	"streamfreq/internal/zipf"
 )
 
@@ -427,12 +428,13 @@ func TestCoordinatorFreshnessSLO(t *testing.T) {
 	if got := c.N(); got != 1500 {
 		t.Fatalf("merged N = %d immediately after the stall, want 1500 (still within -max-stale)", got)
 	}
-	time.Sleep(maxStale + 50*time.Millisecond)
 	ingest(t, tsA.URL, zipf.Sequential(250))
-	c.PullAll(context.Background())
-	if got := c.N(); got != 1250 {
-		t.Fatalf("merged N = %d with the stalled node past -max-stale, want 1250 (A only)", got)
-	}
+	// Poll, not sleep: the bound is wall-clock from B's last good pull,
+	// so keep pulling until B ages out and only A's 1250 remain.
+	testutil.Eventually(t, 5*time.Second, func() bool {
+		c.PullAll(context.Background())
+		return c.N() == 1250
+	}, "stalled node never aged out of the merge (want N=1250 from A only, max-stale %v)", maxStale)
 
 	cs := httptest.NewServer(c.Handler())
 	defer cs.Close()
@@ -485,11 +487,12 @@ func TestCoordinatorAllNodesDropped(t *testing.T) {
 		t.Fatalf("merged N = %d, want 300", got)
 	}
 	sw.set(down())
-	time.Sleep(120 * time.Millisecond)
-	c.PullAll(context.Background())
-	if got := c.N(); got != 0 {
-		t.Fatalf("merged N with every node dropped = %d, want 0", got)
-	}
+	// Poll, not sleep: pull until the only contribution ages past the
+	// 50ms bound and the coordinator serves the empty stream.
+	testutil.Eventually(t, 5*time.Second, func() bool {
+		c.PullAll(context.Background())
+		return c.N() == 0
+	}, "last node never aged out (want merged N=0 with every contribution stale)")
 	cs := httptest.NewServer(c.Handler())
 	defer cs.Close()
 	resp, err := http.Get(cs.URL + "/summary")

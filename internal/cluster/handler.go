@@ -50,11 +50,20 @@ func (c *Coordinator) handleSummary(w http.ResponseWriter, r *http.Request) {
 		serve.HTTPError(w, http.StatusNotFound, "no merged summary to export (no successful pull, or every node is past -max-stale)")
 		return
 	}
+	sum, ok := v.view.(core.Summary)
+	if !ok {
+		// A partitioned view is deliberately not one summary: collapsing
+		// it to a single blob would trade its per-partition bounds for
+		// merge noise. Higher tiers should pull the shards themselves.
+		serve.HTTPError(w, http.StatusNotImplemented,
+			"a partitioned view has no single summary blob; pull the shard replicas directly")
+		return
+	}
 	c.mu.Lock()
 	algo := c.algo
 	c.mu.Unlock()
 	c.meter.Add("summary.pulls", 1)
-	serve.WriteSummary(w, algo, c.epoch, v.view)
+	serve.WriteSummary(w, algo, c.epoch, sum)
 }
 
 // handleStats reports the node-shaped vitals plus the cluster section.
@@ -68,6 +77,8 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 	for i, ns := range st.Nodes {
 		nodes[i] = map[string]any{
 			"url":          ns.URL,
+			"shard":        ns.Shard,
+			"picked":       ns.Picked,
 			"algo":         ns.Algo,
 			"n":            ns.N,
 			"epoch":        ns.Epoch,
@@ -89,14 +100,17 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 		"uptime_ms": st.Uptime.Milliseconds(),
 		"counters":  c.meter.Snapshot(),
 		"cluster": map[string]any{
-			"nodes":         nodes,
-			"merges":        st.Merges,
-			"merge_age_ms":  st.MergeAge.Milliseconds(),
-			"merge_error":   st.MergeErr,
-			"fresh_nodes":   st.Fresh,
-			"have_nodes":    st.Have,
-			"dropped_nodes": st.Dropped,
-			"max_stale_ms":  st.MaxStale.Milliseconds(),
+			"nodes":          nodes,
+			"merges":         st.Merges,
+			"merge_age_ms":   st.MergeAge.Milliseconds(),
+			"merge_error":    st.MergeErr,
+			"fresh_nodes":    st.Fresh,
+			"have_nodes":     st.Have,
+			"dropped_nodes":  st.Dropped,
+			"max_stale_ms":   st.MaxStale.Milliseconds(),
+			"partitioned":    st.Partitioned,
+			"shards":         st.Shards,
+			"missing_shards": st.Missing,
 		},
 	})
 }

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"sort"
+
+	"streamfreq/internal/core"
+	"streamfreq/internal/router"
+)
+
+// Partition-exact serving. When the coordinator knows the write tier's
+// shard map (Options.ShardMap), the per-shard summaries are exact
+// partitions of the stream: every arrival of an item landed on exactly
+// one shard, so the owning shard's summary answers point queries with
+// the error bound of its own substream length n_p — tighter than the
+// bound a single merged summary of the whole stream could offer, and
+// strictly tighter than actually merging, which *adds* cross-summary
+// noise (Space-Saving's Merge inflates absent items by the other side's
+// minimum bound; sketch merges add the operands' collision noise).
+// A PartitionedView therefore never merges: it routes Estimate to the
+// owning shard, unions Query reports at the same absolute threshold
+// (an item over the threshold globally is over it on its owning shard,
+// since all its mass lives there), and sums N.
+//
+// Replica sets make one further rule necessary: the view holds exactly
+// one replica's summary per shard — replicas of a shard saw the *same*
+// substream, so summing or merging them would double-count. The
+// coordinator picks the replica with the highest acknowledged position
+// (the most caught-up survivor), which under the router's failover
+// guarantee holds every acknowledged item of the shard.
+
+// PartitionedView is one immutable published epoch of partition-exact
+// serving: one chosen replica summary per shard, indexed by the ring's
+// shard order. A nil entry is a shard with no usable contribution
+// (nothing pulled yet, or everything past -max-stale): its slice of the
+// key space answers zero, surfaced as a missing shard in Stats.
+type PartitionedView struct {
+	ring   *router.Ring
+	shards []core.Summary
+	n      int64
+}
+
+// N reports the union stream length: the sum of the chosen replicas'
+// positions (disjoint substreams, so addition is exact).
+func (v *PartitionedView) N() int64 { return v.n }
+
+// Estimate routes the point query to the shard owning x.
+func (v *PartitionedView) Estimate(x core.Item) int64 {
+	if s := v.shards[v.ring.Shard(x)]; s != nil {
+		return s.Estimate(x)
+	}
+	return 0
+}
+
+// Query unions the per-shard reports at the same absolute threshold,
+// ordered like a single summary's report (count descending, item
+// ascending on ties). No deduplication is needed: the partitions are
+// disjoint, so an item appears in at most one shard's report.
+func (v *PartitionedView) Query(threshold int64) []core.ItemCount {
+	var out []core.ItemCount
+	for _, s := range v.shards {
+		if s != nil {
+			out = append(out, s.Query(threshold)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}
+
+// compile-time: a partitioned epoch serves like any merged summary.
+var _ core.ReadView = (*PartitionedView)(nil)

@@ -1,0 +1,239 @@
+package cluster_test
+
+// The PR-7 acceptance scenario end to end, all on loopback HTTP: a
+// freqrouter over 3 shards × 2 durable replicas, a partition-exact
+// coordinator reading the router's shard map, and a chaos schedule that
+// kills one follower and one primary mid-ingest (kill -9: handler
+// swapped to down, store abandoned un-closed, no checkpoint) and
+// recovers both from their WALs under new epochs. The wall:
+//
+//   - merged N equals acknowledged arrivals exactly — no loss from the
+//     kills (each shard kept a survivor holding every acked item), no
+//     double-count from the recoveries (one replica per shard, epochs
+//     replace never add);
+//   - merged /topk recall is 1 at φ·N against internal/exact over the
+//     union stream;
+//   - the restarts are observable in the router's shard map.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"streamfreq"
+	"streamfreq/internal/cluster"
+	"streamfreq/internal/core"
+	"streamfreq/internal/exact"
+	"streamfreq/internal/metrics"
+	"streamfreq/internal/router"
+	"streamfreq/internal/stream"
+	"streamfreq/internal/zipf"
+)
+
+// ingestAck is the router's ingest response; postItems posts a binary
+// batch and returns it with the status, letting chaos rounds assert on
+// shed counts where the plain ingest helper would just fail.
+type ingestAck struct {
+	Ingested int64 `json:"ingested"`
+	Shed     int64 `json:"shed"`
+	N        int64 `json:"n"`
+}
+
+func postItems(t *testing.T, url string, items []core.Item) (ingestAck, int) {
+	t.Helper()
+	resp, err := http.Post(url+"/ingest", "application/octet-stream",
+		bytes.NewReader(stream.AppendRaw(nil, items)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ack ingestAck
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatalf("decoding ingest ack: %v", err)
+	}
+	return ack, resp.StatusCode
+}
+
+func TestRouterKillRecover(t *testing.T) {
+	const (
+		phi     = 0.001
+		streamN = 150_000
+		rounds  = 10
+		shards  = 3
+		reps    = 2
+	)
+	g, err := zipf.NewGenerator(1<<15, 1.1, 0xFEED, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := g.Stream(streamN)
+
+	// 3 shards × 2 durable replicas, every replica its own WAL dir and
+	// swappable URL. FsyncAlways: every acknowledged write survives the
+	// kill.
+	var (
+		cfgs []router.ShardConfig
+		dirs [shards][reps]string
+		sws  [shards][reps]*swappable
+	)
+	epoch := uint64(100)
+	for s := 0; s < shards; s++ {
+		cfg := router.ShardConfig{ID: fmt.Sprintf("shard-%d", s)}
+		for r := 0; r < reps; r++ {
+			dirs[s][r] = t.TempDir()
+			srv, _ := durableNode(t, dirs[s][r], phi, epoch)
+			epoch++
+			sws[s][r] = &swappable{}
+			sws[s][r].set(srv.Handler())
+			ts := httptest.NewServer(sws[s][r])
+			defer ts.Close()
+			cfg.Replicas = append(cfg.Replicas, ts.URL)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+
+	rt, err := router.New(router.Options{
+		Shards:  cfgs,
+		Retries: 1,
+		Backoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := httptest.NewServer(rt.Handler())
+	defer rs.Close()
+
+	// The coordinator discovers the topology the way freqmerge -router
+	// does: by pulling the published shard map.
+	ctx := context.Background()
+	m, err := router.FetchShardMap(ctx, nil, rs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := cluster.New(cluster.Options{
+		ShardMap:     m,
+		MergeEncoded: streamfreq.MergeEncoded,
+		Epoch:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := httptest.NewServer(coord.Handler())
+	defer cs.Close()
+
+	// Ingest in rounds through the router, pulling between rounds like
+	// the coordinator's timer would. After round 3, kill shard 0's
+	// follower and shard 1's primary; after round 6, recover both from
+	// their WALs under new epochs and force a probe so the router
+	// re-adopts them mid-run.
+	var acked int64
+	for r := 0; r < rounds; r++ {
+		lo, hi := r*streamN/rounds, (r+1)*streamN/rounds
+		ack, code := postItems(t, rs.URL, items[lo:hi])
+		if code != 200 || ack.Shed != 0 {
+			t.Fatalf("round %d: ack=%+v HTTP %d, want every item acked (each shard kept a survivor)", r, ack, code)
+		}
+		acked += ack.Ingested
+
+		coord.PullAll(ctx)
+
+		switch r {
+		case 3:
+			sws[0][1].set(down()) // a follower dies
+			sws[1][0].set(down()) // a primary dies
+		case 6:
+			srv01, _ := durableNode(t, dirs[0][1], phi, 9001)
+			sws[0][1].set(srv01.Handler())
+			srv10, _ := durableNode(t, dirs[1][0], phi, 9010)
+			sws[1][0].set(srv10.Handler())
+			rt.Probe(ctx)
+		}
+	}
+	coord.PullAll(ctx)
+
+	if acked != int64(streamN) {
+		t.Fatalf("router acknowledged %d of %d arrivals (nothing should shed: every shard kept a survivor)", acked, streamN)
+	}
+
+	// The wall: merged N equals acknowledged arrivals exactly. Loss
+	// would show as less (a shard serving a behind replica), double-
+	// counting as more (replica-summing or a restart added twice).
+	if got := coord.N(); got != acked {
+		t.Fatalf("merged N = %d, want exactly the %d acknowledged arrivals", got, acked)
+	}
+
+	// Partition-exact serving picked exactly one replica per shard.
+	st := coord.Stats()
+	if !st.Partitioned || st.Shards != shards || st.Missing != 0 {
+		t.Fatalf("coordinator stats: partitioned=%v shards=%d missing=%d, want true/%d/0",
+			st.Partitioned, st.Shards, st.Missing, shards)
+	}
+	picked := 0
+	for _, ns := range st.Nodes {
+		if ns.Picked {
+			picked++
+		}
+	}
+	if picked != shards {
+		t.Fatalf("%d replicas picked, want exactly one per shard (%d); stats: %+v", picked, shards, st.Nodes)
+	}
+
+	// The kills are observable: both recovered replicas came back under
+	// new epochs, counted as exactly one restart each by the router.
+	sm := rt.ShardMap()
+	for _, pos := range [][2]int{{0, 1}, {1, 0}} {
+		rep := sm.Shards[pos[0]].Replicas[pos[1]]
+		if !rep.Healthy || rep.Restarts != 1 {
+			t.Fatalf("killed replica shard%d[%d]: %+v, want healthy with 1 restart", pos[0], pos[1], rep)
+		}
+	}
+	for _, pos := range [][2]int{{0, 0}, {1, 1}, {2, 0}, {2, 1}} {
+		if rep := sm.Shards[pos[0]].Replicas[pos[1]]; rep.Restarts != 0 {
+			t.Fatalf("surviving replica shard%d[%d] shows %d restarts, want 0", pos[0], pos[1], rep.Restarts)
+		}
+	}
+
+	// Recall 1 at φ·N against exact truth over the union stream,
+	// through the coordinator's public /topk.
+	truth := exact.New()
+	for _, it := range items {
+		truth.Update(it, 1)
+	}
+	threshold := int64(phi * float64(streamN))
+	var tr topkResponse
+	getJSON(t, cs.URL+fmt.Sprintf("/topk?phi=%g", phi), &tr)
+	if tr.N != int64(streamN) || tr.Threshold != threshold {
+		t.Fatalf("/topk n=%d threshold=%d, want %d/%d", tr.N, tr.Threshold, streamN, threshold)
+	}
+	report := make([]core.ItemCount, len(tr.Items))
+	for i, it := range tr.Items {
+		report[i] = core.ItemCount{Item: core.Item(it.Item), Count: it.Count}
+	}
+	truthMap := metrics.TruthMap(truth.TopK(truth.Distinct()), threshold)
+	if acc := metrics.Evaluate(report, truthMap); acc.Recall != 1 {
+		t.Fatalf("recall at φ·N = %v, want perfect: %s", acc.Recall, acc)
+	}
+	// Per-partition Space-Saving never underestimates, and the
+	// partition-exact view preserves that: every reported count is ≥
+	// its true union count.
+	for _, ic := range report {
+		if tru := truth.Estimate(ic.Item); ic.Count < tru {
+			t.Fatalf("partitioned estimate %d underestimates true %d (item %#x)", ic.Count, tru, uint64(ic.Item))
+		}
+	}
+
+	// A partitioned view is deliberately not exportable as one blob.
+	resp, err := http.Get(cs.URL + "/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 501 {
+		t.Fatalf("partitioned /summary: HTTP %d, want 501 (collapsing it would trade away the per-partition bounds)", resp.StatusCode)
+	}
+}

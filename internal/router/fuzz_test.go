@@ -1,0 +1,97 @@
+package router_test
+
+// FuzzShardSplit pins the splitter's conservation law: for any batch
+// and any (shards, vnodes) geometry, the per-shard buffers are a
+// permutation of the input — no item lost, duplicated, or misrouted —
+// with order preserved within each shard, and the split is a pure
+// function of the ring (a second ring built from the same inputs splits
+// identically). Everything downstream rests on this: replication
+// fans what Split produced, and partition-exact serving assumes every
+// arrival landed on exactly the shard that answers for it.
+
+import (
+	"testing"
+
+	"streamfreq/internal/core"
+	"streamfreq/internal/router"
+	"streamfreq/internal/stream"
+)
+
+func FuzzShardSplit(f *testing.F) {
+	f.Add([]byte{}, uint8(1), uint8(1))
+	f.Add(stream.AppendRaw(nil, []core.Item{1, 2, 3, 4, 5}), uint8(3), uint8(8))
+	f.Add(stream.AppendRaw(nil, []core.Item{42, 42, 42, 7, 42}), uint8(2), uint8(64))
+	f.Add([]byte{0xFF, 0xEE, 0xDD}, uint8(5), uint8(16)) // torn tail: decoder drops it
+
+	f.Fuzz(func(t *testing.T, raw []byte, nshards, vnodes uint8) {
+		shards := int(nshards%16) + 1
+		vn := int(vnodes%128) + 1
+		// Items from arbitrary bytes: whole 8-byte words only, matching
+		// the wire decoder the router actually feeds the splitter from.
+		batch, err := stream.DecodeRaw(nil, raw[:len(raw)-len(raw)%8])
+		if err != nil {
+			t.Fatalf("whole-word decode failed: %v", err)
+		}
+
+		ids := make([]string, shards)
+		for i := range ids {
+			ids[i] = "shard-" + string(rune('A'+i))
+		}
+		ring, err := router.NewRing(ids, vn)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		perShard := ring.Split(batch, make([][]core.Item, shards))
+
+		// Conservation: the multiset union of the buffers is the input.
+		counts := make(map[core.Item]int, len(batch))
+		for _, it := range batch {
+			counts[it]++
+		}
+		total := 0
+		for si, items := range perShard {
+			total += len(items)
+			for _, it := range items {
+				if ring.Shard(it) != si {
+					t.Fatalf("item %d in shard %d's buffer, but the ring owns it to %d", it, si, ring.Shard(it))
+				}
+				counts[it]--
+				if counts[it] < 0 {
+					t.Fatalf("item %d duplicated by the split", it)
+				}
+			}
+		}
+		if total != len(batch) {
+			t.Fatalf("split conserved %d of %d items", total, len(batch))
+		}
+
+		// Order preservation: each buffer is the input subsequence of
+		// its shard's items.
+		idx := make([]int, shards)
+		for _, it := range batch {
+			s := ring.Shard(it)
+			if perShard[s][idx[s]] != it {
+				t.Fatalf("shard %d buffer out of arrival order at %d", s, idx[s])
+			}
+			idx[s]++
+		}
+
+		// Determinism: an independently built ring splits identically.
+		ring2, err := router.NewRing(ids, vn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perShard2 := ring2.Split(batch, make([][]core.Item, shards))
+		for si := range perShard {
+			if len(perShard[si]) != len(perShard2[si]) {
+				t.Fatalf("shard %d: fresh ring split %d items, first ring %d", si, len(perShard2[si]), len(perShard[si]))
+			}
+			for i := range perShard[si] {
+				if perShard[si][i] != perShard2[si][i] {
+					t.Fatalf("shard %d diverges at position %d across identical rings", si, i)
+				}
+			}
+		}
+	})
+}

@@ -42,7 +42,7 @@ import (
 	"context"
 	"errors"
 	"net/http"
-	"strings"
+	"strconv"
 	"sync"
 	"time"
 
@@ -277,38 +277,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	body := http.MaxBytesReader(w, r.Body, s.maxIn)
-	ct := r.Header.Get("Content-Type")
-	if i := strings.IndexByte(ct, ';'); i >= 0 {
-		ct = ct[:i]
-	}
-	var (
-		src   stream.BatchSource
-		errAt func() error
-	)
-	// Media types are case-insensitive (RFC 7231 §3.1.1.1).
-	switch strings.ToLower(strings.TrimSpace(ct)) {
-	case "text/plain":
-		// Capture at most the server's label budget per request, so one
-		// high-cardinality body cannot allocate past it transiently.
-		ts := stream.NewTokenSource(body, s.maxNames)
-		src, errAt = ts, ts.Err
-		defer func() { s.mergeNames(ts.Names()) }()
-	case "application/x-sfstream":
-		sr, err := stream.NewReader(body)
-		if err != nil {
-			s.meter.Add("ingest.rejected", 1)
-			HTTPError(w, http.StatusBadRequest, "bad stream file: %v", err)
+	// Capture at most the server's label budget per request, so one
+	// high-cardinality text body cannot allocate past it transiently.
+	src, err := stream.OpenIngest(r.Header.Get("Content-Type"), body, s.maxNames)
+	if err != nil {
+		s.meter.Add("ingest.rejected", 1)
+		if errors.Is(err, stream.ErrUnsupportedMedia) {
+			HTTPError(w, http.StatusUnsupportedMediaType, "%v", err)
 			return
 		}
-		src, errAt = sr, sr.Err
-	case "", "application/octet-stream":
-		rs := stream.NewRawSource(body)
-		src, errAt = rs, rs.Err
-	default:
-		s.meter.Add("ingest.rejected", 1)
-		HTTPError(w, http.StatusUnsupportedMediaType, "unsupported Content-Type %q", ct)
+		HTTPError(w, http.StatusBadRequest, "bad stream file: %v", err)
 		return
 	}
+	defer func() { s.mergeNames(src.Names()) }()
 
 	buf := make([]core.Item, s.batch)
 	var ingested int64
@@ -322,7 +303,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	s.meter.Add("ingest.requests", 1)
 	s.meter.Add("ingest.items", ingested)
-	if err := errAt(); err != nil {
+	if err := src.Err(); err != nil {
 		// Items decoded before the failure are already ingested (the
 		// stream model has no transactions); report both facts. A body
 		// over the size cap is the client's to fix by chunking — signal
@@ -336,6 +317,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		HTTPError(w, http.StatusBadRequest, "body truncated or corrupt after %d items: %v", ingested, err)
 		return
 	}
+	// Stamp the process epoch on every ack, so a write tier notices a
+	// restart on the very next batch it forwards — without waiting for a
+	// health probe or a /summary pull to observe the new epoch.
+	w.Header().Set(HeaderEpoch, strconv.FormatUint(s.epoch, 10))
 	// Ack with the live cumulative ingest total (free, from the meter):
 	// target.N() would report the snapshot-lagged serving position — and
 	// could charge a snapshot refresh to the write path to compute it.

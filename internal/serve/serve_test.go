@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -25,6 +26,7 @@ import (
 	"streamfreq/internal/metrics"
 	"streamfreq/internal/serve"
 	"streamfreq/internal/stream"
+	"streamfreq/internal/testutil"
 	"streamfreq/internal/zipf"
 )
 
@@ -311,10 +313,29 @@ func TestFreqdErrorPaths(t *testing.T) {
 func TestFreqdGracefulShutdown(t *testing.T) {
 	target := core.NewConcurrent(exact.New()).ServeSnapshots(0)
 	srv := serve.NewServer(serve.Options{Target: target})
+
+	// Reserve a loopback port so the test can observe the server come up
+	// (ListenAndServe doesn't report its bound address), then poll /stats
+	// until it answers — the shutdown below exercises a genuinely serving
+	// server, not a race against its own startup.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
 	stop := make(chan struct{})
 	done := make(chan error, 1)
-	go func() { done <- srv.ListenAndServe("127.0.0.1:0", stop) }()
-	time.Sleep(50 * time.Millisecond)
+	go func() { done <- srv.ListenAndServe(addr, stop) }()
+	testutil.Eventually(t, 5*time.Second, func() bool {
+		resp, err := http.Get("http://" + addr + "/stats")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	}, "server never started serving on %s", addr)
 	close(stop)
 	select {
 	case err := <-done:

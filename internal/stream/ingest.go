@@ -1,0 +1,78 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"streamfreq/internal/core"
+)
+
+// The HTTP ingest body model shared by the freqd serving layer and the
+// freqrouter write tier: one Content-Type selects one of the wire
+// decoders in this package, and the body streams through it in bounded
+// batches. Factoring the dispatch here keeps the two ingest fronts
+// byte-for-byte compatible — a client that can POST to a freqd can POST
+// the identical request to a freqrouter.
+
+// ErrUnsupportedMedia reports an ingest Content-Type none of the wire
+// decoders handle; HTTP layers map it to 415.
+var ErrUnsupportedMedia = errors.New("stream: unsupported media type")
+
+// IngestSource is an opened ingest body: a BatchSource plus the decode
+// failure and token-spelling surfaces of whichever decoder the
+// Content-Type selected.
+type IngestSource struct {
+	BatchSource
+	err   func() error
+	names func() map[core.Item]string
+}
+
+// Err returns the first decode failure, nil after a clean drain.
+func (s *IngestSource) Err() error { return s.err() }
+
+// Names returns the item→token spelling map a text-mode body
+// accumulated (nil for binary bodies or disabled capture). Valid once
+// reading is done; shared, not copied.
+func (s *IngestSource) Names() map[core.Item]string {
+	if s.names == nil {
+		return nil
+	}
+	return s.names()
+}
+
+// OpenIngest opens an HTTP ingest request body as a batch source,
+// dispatching on the Content-Type (parameters and case are ignored, per
+// RFC 7231 §3.1.1.1):
+//
+//	application/octet-stream  bare little-endian uint64 items (also "")
+//	text/plain                whitespace-separated tokens, hashed via
+//	                          core.HashString; up to maxNames spellings
+//	                          are captured for report labeling
+//	application/x-sfstream    an SFSTRM01 stream file
+//
+// An unsupported type returns an error wrapping ErrUnsupportedMedia; a
+// stream-file body whose header does not parse returns the header error.
+func OpenIngest(contentType string, body io.Reader, maxNames int) (*IngestSource, error) {
+	ct := contentType
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	switch strings.ToLower(strings.TrimSpace(ct)) {
+	case "text/plain":
+		ts := NewTokenSource(body, maxNames)
+		return &IngestSource{BatchSource: ts, err: ts.Err, names: ts.Names}, nil
+	case "application/x-sfstream":
+		sr, err := NewReader(body)
+		if err != nil {
+			return nil, err
+		}
+		return &IngestSource{BatchSource: sr, err: sr.Err}, nil
+	case "", "application/octet-stream":
+		rs := NewRawSource(body)
+		return &IngestSource{BatchSource: rs, err: rs.Err}, nil
+	default:
+		return nil, fmt.Errorf("%w %q", ErrUnsupportedMedia, contentType)
+	}
+}

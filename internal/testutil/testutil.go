@@ -1,0 +1,42 @@
+// Package testutil holds the shared condition-polling helpers the test
+// suites use instead of bare time.Sleep. A sleep encodes a guess about
+// scheduler and I/O latency — too short flakes under -race or CI load,
+// too long wastes every run forever. Polling encodes the actual
+// postcondition: the test proceeds the moment it holds and fails loudly
+// (with the caller's description) only when it genuinely never does.
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// pollEvery is the condition re-check cadence: fine enough that tests
+// don't dawdle after the condition flips, coarse enough not to spin.
+const pollEvery = 2 * time.Millisecond
+
+// Poll re-checks cond every few milliseconds until it returns true or
+// timeout elapses, reporting whether the condition held. The non-fatal
+// variant, for tests that want to assert something richer on failure.
+func Poll(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(pollEvery)
+	}
+}
+
+// Eventually fails the test if cond does not hold within timeout. The
+// format/args describe what was being waited for, so a timeout reads as
+// a real assertion failure, not a mystery hang.
+func Eventually(t testing.TB, timeout time.Duration, cond func() bool, format string, args ...any) {
+	t.Helper()
+	if !Poll(timeout, cond) {
+		t.Fatalf("condition never held within %v: "+format, append([]any{timeout}, args...)...)
+	}
+}

@@ -1,0 +1,134 @@
+package streamfreq
+
+// Registry-wide partition-merge wall: split one stream into K
+// partitions by the *router's* hash ring — the exact split the write
+// tier performs in production — feed K independent summaries, and pin
+// the two properties partitioned serving rests on, for every algorithm
+// with a wire format:
+//
+//  1. Partition-exactness tightens bounds: an item's every arrival
+//     lands on the shard the ring owns it to, so the owning partition's
+//     summary estimates it within the documented envelope at its *own*
+//     substream length n_p — a strictly tighter operating point than
+//     the φ·N envelope of any whole-stream (or merged) summary.
+//  2. Wire fidelity at fan-in degree K: MergeEncoded over the K
+//     partition blobs is bit-identical to merging the live summaries,
+//     and the merged N is the exact union length — so a coordinator
+//     that *does* choose to merge partitions loses nothing to the wire.
+
+import (
+	"fmt"
+	"testing"
+
+	"streamfreq/internal/exact"
+	"streamfreq/internal/router"
+	"streamfreq/internal/zipf"
+)
+
+func TestPartitionMergeRegistry(t *testing.T) {
+	const (
+		K       = 4
+		phi     = 0.005
+		seed    = 42
+		streamN = 60_000
+	)
+	g, err := zipf.NewGenerator(1<<14, 1.1, 0xACE, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := g.Stream(streamN)
+
+	ids := make([]string, K)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("p%d", i)
+	}
+	ring, err := router.NewRing(ids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := ring.Split(items, make([][]Item, K))
+
+	// Per-partition and union ground truth (the substreams are disjoint,
+	// so a global heavy hitter's true count equals its count on its
+	// owning partition).
+	unionTruth := exact.New()
+	partTruth := make([]*exact.Counter, K)
+	for p := range parts {
+		partTruth[p] = exact.New()
+		if len(parts[p]) == 0 {
+			t.Fatalf("partition %d is empty: the ring starved an arc (geometry K=%d, vnodes=%d)", p, K, ring.VNodes())
+		}
+		for _, it := range parts[p] {
+			partTruth[p].Update(it, 1)
+			unionTruth.Update(it, 1)
+		}
+	}
+	threshold := int64(phi * float64(streamN))
+	hitters := unionTruth.TopK(unionTruth.Distinct())
+
+	for _, algo := range Algorithms() {
+		t.Run(algo, func(t *testing.T) {
+			feed := func(p int) Summary {
+				s := MustNew(algo, phi, seed)
+				UpdateAll(s, parts[p])
+				return s
+			}
+			sums := make([]Summary, K)
+			blobs := make([][]byte, K)
+			for p := 0; p < K; p++ {
+				sums[p] = feed(p)
+				blobs[p] = marshal(t, fmt.Sprintf("%s/p%d", algo, p), sums[p])
+			}
+
+			// (1) Per-partition estimates of every union heavy hitter,
+			// within the envelope at n_p — and that envelope really is
+			// tighter than the whole-stream one.
+			for _, ic := range hitters {
+				if ic.Count < threshold {
+					break
+				}
+				p := ring.Shard(ic.Item)
+				np := int64(len(parts[p]))
+				under, over := mergeBounds(t, algo, np, phi, partTruth[p].SecondMoment())
+				underN, overN := mergeBounds(t, algo, int64(streamN), phi, unionTruth.SecondMoment())
+				if under > underN || over > overN {
+					t.Fatalf("per-partition envelope (−%d/+%d at n_p=%d) looser than whole-stream (−%d/+%d at n=%d)",
+						under, over, np, underN, overN, streamN)
+				}
+				if got, want := partTruth[p].Estimate(ic.Item), ic.Count; got != want {
+					t.Fatalf("item %#x: partition %d true count %d ≠ union count %d — misrouted arrivals",
+						uint64(ic.Item), p, got, want)
+				}
+				est := sums[p].Estimate(ic.Item)
+				if est < ic.Count-under {
+					t.Fatalf("item %#x: partition %d estimate %d below true %d − per-partition bound %d",
+						uint64(ic.Item), p, est, ic.Count, under)
+				}
+				if est > ic.Count+over {
+					t.Fatalf("item %#x: partition %d estimate %d above true %d + per-partition bound %d",
+						uint64(ic.Item), p, est, ic.Count, over)
+				}
+			}
+
+			// (2) Wire fidelity at fan-in K: blob-merge ≡ live-merge,
+			// byte for byte, with the exact union N.
+			merged, err := MergeEncoded(blobs...)
+			if err != nil {
+				t.Fatalf("MergeEncoded over %d partitions: %v", K, err)
+			}
+			if merged.N() != int64(streamN) {
+				t.Fatalf("merged N = %d, want %d", merged.N(), streamN)
+			}
+			direct := feed(0)
+			for p := 1; p < K; p++ {
+				if err := direct.(Merger).Merge(feed(p)); err != nil {
+					t.Fatalf("live merge of partition %d: %v", p, err)
+				}
+			}
+			if got, want := marshal(t, algo+"/merged", merged), marshal(t, algo+"/direct", direct); string(got) != string(want) {
+				t.Fatalf("MergeEncoded and live Merge encode differently over %d partitions (%d vs %d bytes)",
+					K, len(got), len(want))
+			}
+		})
+	}
+}
