@@ -14,6 +14,7 @@
 //	freqd -algo SSH -phi 0.001 -pipeline -pprof :6060 # with mutex/block profiling
 //	freqd -algo SSH -phi 0.001 -data-dir /var/lib/freqd -fsync interval -checkpoint-every 1m
 //	freqd -window 1000000 -window-blocks 10 -phi 0.001    # heavy hitters over the last 1M items
+//	freqd -tenants -phi 0.01 -tenant-phi eu=0.001 -tenant-max-resident 4096   # namespaced summaries under /v1/t/{ns}/...
 //
 // With -window W the daemon serves *sliding-window* heavy hitters: /topk
 // and /estimate answer over (roughly) the last W items instead of the
@@ -62,7 +63,33 @@ import (
 	"streamfreq/internal/core"
 	"streamfreq/internal/persist"
 	"streamfreq/internal/serve"
+	"streamfreq/internal/tenant"
 )
+
+// phiOverrides collects repeated -tenant-phi ns=phi flags into the
+// per-namespace threshold map.
+type phiOverrides map[string]float64
+
+func (p phiOverrides) String() string {
+	parts := make([]string, 0, len(p))
+	for ns, phi := range p {
+		parts = append(parts, fmt.Sprintf("%s=%g", ns, phi))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p phiOverrides) Set(v string) error {
+	ns, val, ok := strings.Cut(v, "=")
+	if !ok || ns == "" {
+		return fmt.Errorf("want ns=phi, got %q", v)
+	}
+	var phi float64
+	if _, err := fmt.Sscanf(val, "%g", &phi); err != nil {
+		return fmt.Errorf("bad phi in %q: %v", v, err)
+	}
+	p[ns] = phi
+	return nil
+}
 
 func main() {
 	var (
@@ -85,11 +112,24 @@ func main() {
 		fsyncEvery = flag.Duration("fsync-interval", 100*time.Millisecond, "group-commit window for -fsync interval")
 		ckptEvery  = flag.Duration("checkpoint-every", time.Minute, "periodic checkpoint cadence (0 = only POST /checkpoint and shutdown)")
 		maxLag     = flag.Int64("max-lag", 0, "shed ingest (429) once the unsynced WAL lag exceeds this many items (0 = no shedding)")
+
+		tenants   = flag.Bool("tenants", false, "multi-tenant mode: namespaced summaries under /v1/t/{ns}/... on a shared slab (SSH only)")
+		tenantMax = flag.Int("tenant-max-resident", 4096, "resident-tenant bound; idle namespaces beyond it are evicted to compact blobs (0 = unbounded)")
+		tenantPhi = phiOverrides{}
 	)
+	flag.Var(tenantPhi, "tenant-phi", "per-namespace threshold override as ns=phi (repeatable); others use -phi")
 	flag.Parse()
 
+	var table *tenant.Table
+	if *tenants {
+		var err error
+		table, err = buildTenantTable(*algo, *phi, *seed, *shards, *pipeline, *windowLen, *tenantMax, tenantPhi)
+		if err != nil {
+			fatal(err)
+		}
+	}
 	target, store, label, err := buildTarget(*algo, *phi, *seed, *shards, *pipeline, *staleness,
-		*windowLen, *windowB, *dataDir, *fsyncMode, *fsyncEvery)
+		*windowLen, *windowB, *dataDir, *fsyncMode, *fsyncEvery, table)
 	if err != nil {
 		fatal(err)
 	}
@@ -107,7 +147,7 @@ func main() {
 			}
 		}()
 	}
-	srv := serve.NewServer(serve.Options{Target: target, Algo: label, IngestBatch: *batch, Store: store, MaxLag: *maxLag, Epoch: *epoch})
+	srv := serve.NewServer(serve.Options{Target: target, Algo: label, IngestBatch: *batch, Store: store, MaxLag: *maxLag, Epoch: *epoch, Tenants: table})
 
 	stop := make(chan struct{})
 	sig := make(chan os.Signal, 1)
@@ -123,6 +163,9 @@ func main() {
 	}
 
 	fmt.Printf("freqd: serving %s (phi=%g, shards=%d, staleness=%v", label, *phi, *shards, *staleness)
+	if table != nil {
+		fmt.Printf(", multi-tenant (max-resident=%d)", *tenantMax)
+	}
 	if *pipeline {
 		fmt.Printf(", pipelined ingest")
 	}
@@ -182,8 +225,35 @@ func checkpointLoop(store *persist.Store, target persist.Target, every time.Dura
 // returned label is the effective algorithm name — the -algo code, or
 // "SSW" in windowed mode — and is the single source for both the
 // serving layer's Algo and the checkpoint's mode-exclusive algo stamp.
+// buildTenantTable validates the multi-tenant flag combination and
+// constructs the namespaced table. Tenancy is a serving arrangement of
+// many small Space-Saving summaries on one slab, so the mode excludes
+// the single-summary arrangements: windows, pipelining, sharding, and
+// non-SSH algorithms.
+func buildTenantTable(algo string, phi float64, seed uint64, shards int, pipeline bool,
+	windowLen, maxResident int, overrides map[string]float64) (*tenant.Table, error) {
+	if !strings.EqualFold(algo, "SSH") {
+		return nil, fmt.Errorf("-tenants serves slab-backed Space-Saving; drop -algo %s (or set SSH)", algo)
+	}
+	if windowLen > 0 {
+		return nil, fmt.Errorf("-tenants and -window are incompatible; pick one serving arrangement")
+	}
+	if pipeline {
+		return nil, fmt.Errorf("-tenants has per-namespace summaries, not a staged plane; drop -pipeline")
+	}
+	if shards != 1 {
+		return nil, fmt.Errorf("-tenants is namespace-keyed, not hash-sharded; drop -shards %d", shards)
+	}
+	_ = seed // SSH hashes per item, not per summary; the flag stays valid
+	return tenant.NewTable(tenant.Options{
+		DefaultPhi:  phi,
+		MaxResident: maxResident,
+		Phi:         overrides,
+	})
+}
+
 func buildTarget(algo string, phi float64, seed uint64, shards int, pipeline bool, staleness time.Duration,
-	windowLen, windowBlocks int, dataDir, fsyncMode string, fsyncEvery time.Duration) (serve.Target, *persist.Store, string, error) {
+	windowLen, windowBlocks int, dataDir, fsyncMode string, fsyncEvery time.Duration, table *tenant.Table) (serve.Target, *persist.Store, string, error) {
 	if _, err := streamfreq.New(algo, phi, seed); err != nil {
 		return nil, nil, "", err // validate algo/phi before wrapping
 	}
@@ -194,6 +264,11 @@ func buildTarget(algo string, phi float64, seed uint64, shards int, pipeline boo
 	label := algo
 	var durable persist.Target
 	switch {
+	case table != nil:
+		// Multi-tenant: the table is its own concurrency wrapper (one
+		// lock over tiny critical sections) and its own durable target
+		// (tenant-tagged WAL records, manifest checkpoints).
+		durable = table
 	case windowLen > 0:
 		// Windowed serving: block-decomposed Space-Saving over the last
 		// W items. The window is one summary with internal blocks, so it
@@ -256,6 +331,10 @@ func buildTarget(algo string, phi float64, seed uint64, shards int, pipeline boo
 	}
 
 	switch t := durable.(type) {
+	case *tenant.Table:
+		// Served directly: tenant reads pin per-namespace views, so the
+		// -staleness snapshot machinery does not apply.
+		return t, store, label, nil
 	case *core.Pipelined:
 		return t.ServeSnapshots(staleness), store, label, nil
 	case *core.Sharded:

@@ -62,6 +62,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 5*time.Second, "per-node pull timeout")
 		algo      = flag.String("algo", "", "required algorithm code; empty adopts the first node's")
 		maxStale  = flag.Duration("max-stale", 0, "drop a node's contribution once its data is older than this (0 = serve stale forever)")
+		tenants   = flag.Bool("tenants", false, "pull /v1/tenants/summary bundles and merge namespace by namespace (nodes must run freqd -tenants)")
 	)
 	flag.Parse()
 	switch {
@@ -76,6 +77,7 @@ func main() {
 		Timeout:      *timeout,
 		Algo:         *algo,
 		MaxStale:     *maxStale,
+		TenantMerge:  *tenants,
 		MergeEncoded: streamfreq.MergeEncoded,
 	}
 	if *routerURL != "" {
@@ -111,6 +113,9 @@ func main() {
 		}
 		fmt.Printf("freqmerge: partition-exact over %d shards (%d replicas) every %v on %s\n",
 			len(opts.ShardMap.Shards), replicas, *interval, *addr)
+	} else if *tenants {
+		fmt.Printf("freqmerge: merging tenant bundles from %d nodes every %v on %s\n",
+			len(opts.Nodes), *interval, *addr)
 	} else {
 		fmt.Printf("freqmerge: aggregating %d nodes every %v on %s\n",
 			len(opts.Nodes), *interval, *addr)

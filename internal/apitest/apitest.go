@@ -1,0 +1,157 @@
+// Package apitest checks a daemon's HTTP surface against the /v1 API
+// contract every streamfreq daemon promises, whatever it serves behind
+// the routes:
+//
+//   - every route lives under /v1/ and (when grandfathered) at its
+//     pre-versioning alias, both answering identically
+//   - a wrong method is 405 with an Allow header, never 404
+//   - every error is the {"error":{"code","message"}} JSON envelope
+//   - unknown paths are enveloped 404s, at the root and under /v1/
+//   - GET /healthz answers 200 {"status":"ok"}
+//
+// The checker takes a handler and its route table and probes the
+// contract edge by edge, so freqd, freqmerge, and freqrouter — and any
+// future daemon — share one executable definition of "API-conformant"
+// instead of three drifting copies.
+package apitest
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// Route declares one endpoint of a daemon's API for conformance
+// probing: the allowed method, the path under /v1 (with any {wildcard}
+// segments filled in), and the legacy aliases that must answer too.
+type Route struct {
+	Method  string
+	Path    string // e.g. "/topk" — probed as "/v1/topk"
+	Aliases []string
+}
+
+// envelope is the error body contract.
+type envelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// checkEnvelope asserts resp carries the JSON error envelope.
+func checkEnvelope(t *testing.T, resp *http.Response, context string) {
+	t.Helper()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("%s: error Content-Type %q, want application/json", context, ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("%s: reading error body: %v", context, err)
+	}
+	var env envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Errorf("%s: error body %q is not the envelope: %v", context, body, err)
+		return
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Errorf("%s: envelope missing code or message: %q", context, body)
+	}
+}
+
+// do runs one request against the handler in-process.
+func do(h http.Handler, method, path string) *http.Response {
+	req := httptest.NewRequest(method, path, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w.Result()
+}
+
+// Conform probes handler against routes and the cross-cutting API
+// contract. Routes are declared without the /v1 prefix; Conform adds
+// it. It does not assert route-specific success bodies — that is the
+// daemon's own test's job — only that the surface holds the contract.
+func Conform(t *testing.T, h http.Handler, routes []Route) {
+	t.Helper()
+
+	t.Run("healthz", func(t *testing.T) {
+		resp := do(h, http.MethodGet, "/healthz")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /healthz: status %d, want 200", resp.StatusCode)
+		}
+		var body map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body["status"] != "ok" {
+			t.Fatalf("GET /healthz: body not {\"status\":\"ok\"} (%v)", err)
+		}
+		if resp := do(h, http.MethodGet, "/v1/healthz"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/healthz: status %d, want 200", resp.StatusCode)
+		}
+	})
+
+	t.Run("unknown_paths_enveloped", func(t *testing.T) {
+		for _, p := range []string{"/definitely-not-a-route", "/v1/definitely-not-a-route"} {
+			resp := do(h, http.MethodGet, p)
+			if resp.StatusCode != http.StatusNotFound {
+				t.Errorf("GET %s: status %d, want 404", p, resp.StatusCode)
+			}
+			checkEnvelope(t, resp, "GET "+p)
+		}
+	})
+
+	for _, rt := range routes {
+		rt := rt
+		versioned := "/v1" + rt.Path
+		paths := append([]string{versioned}, rt.Aliases...)
+
+		t.Run("routed"+strings.ReplaceAll(versioned, "/", "_"), func(t *testing.T) {
+			for _, p := range paths {
+				// The allowed method must reach the handler: any status
+				// but 404 (unrouted) and 405 (method table wrong). Missing
+				// params, empty state, etc. are fine — still conformant.
+				resp := do(h, rt.Method, p)
+				if resp.StatusCode == http.StatusNotFound && p == versioned {
+					t.Errorf("%s %s: 404 — route not registered", rt.Method, p)
+				}
+				if resp.StatusCode == http.StatusMethodNotAllowed {
+					t.Errorf("%s %s: 405 — method table rejects its own method", rt.Method, p)
+				}
+			}
+		})
+
+		t.Run("method_enforced"+strings.ReplaceAll(versioned, "/", "_"), func(t *testing.T) {
+			// No streamfreq route allows DELETE, so it is the universal
+			// wrong method — a 404 here would mean routing is conflated
+			// with method dispatch.
+			for _, p := range paths {
+				resp := do(h, http.MethodDelete, p)
+				if resp.StatusCode != http.StatusMethodNotAllowed {
+					t.Errorf("DELETE %s: status %d, want 405", p, resp.StatusCode)
+					continue
+				}
+				allow := resp.Header.Get("Allow")
+				if !strings.Contains(allow, rt.Method) {
+					t.Errorf("DELETE %s: Allow %q does not offer %s", p, allow, rt.Method)
+				}
+				checkEnvelope(t, resp, "DELETE "+p)
+			}
+		})
+	}
+}
+
+// ConformIngest probes the shared ingest media-type contract on one
+// ingest path: an undeclared Content-Type must be an enveloped 415,
+// not a decode attempt.
+func ConformIngest(t *testing.T, h http.Handler, path string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader("{}"))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	resp := w.Result()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Errorf("POST %s with application/json: status %d, want 415", path, resp.StatusCode)
+	}
+	checkEnvelope(t, resp, "POST "+path)
+}

@@ -1,0 +1,157 @@
+package apitest_test
+
+// One executable API contract, three daemons: freqd (flat and
+// multi-tenant), freqmerge (flat and tenant-merge), and freqrouter all
+// run through apitest.Conform with their route tables. The daemons are
+// built the way their commands build them — real serve.Server,
+// cluster.Coordinator over a loopback node, router.Router over a
+// loopback replica — so a route that drifts out of the contract fails
+// here before any client notices.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"streamfreq"
+	"streamfreq/internal/apitest"
+	"streamfreq/internal/cluster"
+	"streamfreq/internal/core"
+	"streamfreq/internal/router"
+	"streamfreq/internal/serve"
+	"streamfreq/internal/tenant"
+)
+
+// freqdRoutes is the node surface; tenant routes ride behind -tenants.
+var freqdRoutes = []apitest.Route{
+	{Method: http.MethodPost, Path: "/ingest", Aliases: []string{"/ingest"}},
+	{Method: http.MethodGet, Path: "/topk", Aliases: []string{"/topk"}},
+	{Method: http.MethodGet, Path: "/estimate", Aliases: []string{"/estimate"}},
+	{Method: http.MethodGet, Path: "/summary", Aliases: []string{"/summary"}},
+	{Method: http.MethodGet, Path: "/stats", Aliases: []string{"/stats"}},
+	{Method: http.MethodPost, Path: "/refresh", Aliases: []string{"/refresh"}},
+	{Method: http.MethodPost, Path: "/checkpoint", Aliases: []string{"/checkpoint"}},
+}
+
+var freqdTenantRoutes = []apitest.Route{
+	{Method: http.MethodPost, Path: "/t/demo/ingest"},
+	{Method: http.MethodGet, Path: "/t/demo/topk"},
+	{Method: http.MethodGet, Path: "/t/demo/estimate"},
+	{Method: http.MethodGet, Path: "/t/demo/stats"},
+	{Method: http.MethodGet, Path: "/tenants"},
+	{Method: http.MethodGet, Path: "/tenants/summary"},
+}
+
+func TestFreqdConformance(t *testing.T) {
+	target := core.NewConcurrent(streamfreq.MustNew("SSH", 0.01, 1)).ServeSnapshots(0)
+	target.UpdateBatch([]core.Item{1, 2, 3})
+	srv := serve.NewServer(serve.Options{Target: target, Algo: "SSH"})
+	apitest.Conform(t, srv.Handler(), freqdRoutes)
+	apitest.ConformIngest(t, srv.Handler(), "/v1/ingest")
+	apitest.ConformIngest(t, srv.Handler(), "/ingest")
+}
+
+func TestFreqdTenantConformance(t *testing.T) {
+	table := newDemoTable(t)
+	srv := serve.NewServer(serve.Options{Target: table, Algo: "SSH", Tenants: table})
+	apitest.Conform(t, srv.Handler(), append(freqdRoutes, freqdTenantRoutes...))
+	apitest.ConformIngest(t, srv.Handler(), "/v1/t/demo/ingest")
+}
+
+func TestFreqmergeConformance(t *testing.T) {
+	routes := []apitest.Route{
+		{Method: http.MethodGet, Path: "/topk", Aliases: []string{"/topk"}},
+		{Method: http.MethodGet, Path: "/estimate", Aliases: []string{"/estimate"}},
+		{Method: http.MethodGet, Path: "/summary", Aliases: []string{"/summary"}},
+		{Method: http.MethodGet, Path: "/stats", Aliases: []string{"/stats"}},
+		{Method: http.MethodPost, Path: "/refresh", Aliases: []string{"/refresh"}},
+		// POST /ingest answers 501 by design — present, enveloped, not a 404.
+		{Method: http.MethodPost, Path: "/ingest", Aliases: []string{"/ingest"}},
+	}
+
+	// A coordinator with merged data, so GET /summary exports instead of
+	// 404ing "no merged summary yet".
+	target := core.NewConcurrent(streamfreq.MustNew("SSH", 0.01, 1)).ServeSnapshots(0)
+	target.UpdateBatch([]core.Item{1, 1, 2})
+	nodeSrv := serve.NewServer(serve.Options{Target: target, Algo: "SSH"})
+	node := httptest.NewServer(nodeSrv.Handler())
+	defer node.Close()
+
+	coord, err := cluster.New(cluster.Options{
+		Nodes:        []string{node.URL},
+		MergeEncoded: streamfreq.MergeEncoded,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.PullAll(context.Background())
+	apitest.Conform(t, coord.Handler(), routes)
+}
+
+func TestFreqmergeTenantConformance(t *testing.T) {
+	routes := []apitest.Route{
+		{Method: http.MethodGet, Path: "/topk", Aliases: []string{"/topk"}},
+		{Method: http.MethodGet, Path: "/stats", Aliases: []string{"/stats"}},
+		{Method: http.MethodGet, Path: "/t/demo/topk"},
+		{Method: http.MethodGet, Path: "/t/demo/estimate"},
+		{Method: http.MethodGet, Path: "/tenants"},
+	}
+
+	table := newDemoTable(t)
+	nodeSrv := serve.NewServer(serve.Options{Target: table, Algo: "SSH", Tenants: table})
+	node := httptest.NewServer(nodeSrv.Handler())
+	defer node.Close()
+
+	coord, err := cluster.New(cluster.Options{
+		Nodes:        []string{node.URL},
+		TenantMerge:  true,
+		MergeEncoded: streamfreq.MergeEncoded,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.PullAll(context.Background())
+	apitest.Conform(t, coord.Handler(), routes)
+}
+
+func TestFreqrouterConformance(t *testing.T) {
+	routes := []apitest.Route{
+		{Method: http.MethodPost, Path: "/ingest", Aliases: []string{"/ingest"}},
+		{Method: http.MethodGet, Path: "/stats", Aliases: []string{"/stats"}},
+		{Method: http.MethodGet, Path: "/shardmap", Aliases: []string{"/shardmap"}},
+		{Method: http.MethodPost, Path: "/probe", Aliases: []string{"/probe"}},
+	}
+
+	target := core.NewConcurrent(streamfreq.MustNew("SSH", 0.01, 1)).ServeSnapshots(0)
+	nodeSrv := serve.NewServer(serve.Options{Target: target, Algo: "SSH"})
+	node := httptest.NewServer(nodeSrv.Handler())
+	defer node.Close()
+
+	rt, err := router.New(router.Options{
+		Shards: []router.ShardConfig{{ID: "s0", Replicas: []string{node.URL}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apitest.Conform(t, rt.Handler(), routes)
+	apitest.ConformIngest(t, rt.Handler(), "/v1/ingest")
+	apitest.ConformIngest(t, rt.Handler(), "/ingest")
+}
+
+// newDemoTable builds a tenant table with the "demo" and default
+// namespaces populated, so wildcard routes have a live target.
+func newDemoTable(t *testing.T) *tenant.Table {
+	t.Helper()
+	table, err := tenant.NewTable(tenant.Options{DefaultPhi: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := table.IngestBatch("demo", []core.Item{7, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := table.IngestBatch("", []core.Item{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	return table
+}

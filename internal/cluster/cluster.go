@@ -91,6 +91,13 @@ type Options struct {
 	// and folds the decoded summaries itself via Snapshotter/Merger, so
 	// nothing is decoded twice.
 	MergeEncoded func(blobs ...[]byte) (core.Summary, error)
+	// TenantMerge, when set, pulls each node's GET /v1/tenants/summary
+	// bundle instead of the flat /summary and merges the cluster
+	// namespace by namespace; the /v1/t/{ns}/... read routes come alive
+	// on the coordinator and the un-namespaced routes serve the merged
+	// default namespace. Incompatible with ShardMap (the write tier
+	// shards the flat stream, not namespaces).
+	TenantMerge bool
 	// ShardMap, when set, switches the coordinator to partitioned mode:
 	// Nodes is ignored and the topology comes from the write tier's
 	// published shard map (router.FetchShardMap) — every replica of
@@ -104,8 +111,9 @@ type Options struct {
 	// Epoch identifies this coordinator process on its own GET /summary
 	// (coordinators stack); 0 draws one from the clock.
 	Epoch uint64
-	// Client is the HTTP client for pulls (default: a fresh client;
-	// Timeout is applied per request either way).
+	// Client is the HTTP client for pulls (default:
+	// router.NewHTTPClient(Timeout), the shared intra-cluster transport
+	// config; Timeout is applied per request either way).
 	Client *http.Client
 }
 
@@ -118,11 +126,12 @@ type nodeState struct {
 	url   string
 	shard int // ring shard index in partitioned mode; -1 in flat mode
 
-	sum      core.Summary // last good decoded summary; nil until the first pull
-	n        int64        // its stream position
-	epoch    uint64       // node process epoch of the last good pull
-	algo     string       // its algorithm name
-	lastPull time.Time
+	sum        core.Summary            // last good decoded summary; nil until the first pull
+	tenantSums map[string]core.Summary // tenant mode: last good bundle, one summary per namespace
+	n          int64                   // its stream position (tenant mode: sum over namespaces)
+	epoch      uint64                  // node process epoch of the last good pull
+	algo       string                  // its algorithm name
+	lastPull   time.Time
 
 	pulls    int64
 	failures int64
@@ -144,6 +153,10 @@ type mergedView struct {
 	have    int // nodes contributing (fresh or stale)
 	dropped int // nodes with data excluded by the -max-stale bound
 	missing int // shards with no usable contribution (partitioned mode)
+
+	// tenants holds the per-namespace merged summaries in tenant-merge
+	// mode (nil otherwise). Immutable once published, like view.
+	tenants map[string]core.Summary
 }
 
 // Coordinator pulls, merges, and serves; see the package comment.
@@ -159,6 +172,8 @@ type Coordinator struct {
 	epoch    uint64
 	meter    *metrics.Meter
 	start    time.Time
+
+	tenanted bool // pull and merge per-namespace tenant bundles
 
 	mu       sync.Mutex // guards nodeState fields, algo, mergeErr
 	algo     string
@@ -184,6 +199,9 @@ func New(opts Options) (*Coordinator, error) {
 	if opts.MergeEncoded == nil {
 		return nil, fmt.Errorf("cluster: Options.MergeEncoded is required (streamfreq.MergeEncoded)")
 	}
+	if opts.TenantMerge && opts.ShardMap != nil {
+		return nil, fmt.Errorf("cluster: -tenants and a shard map are incompatible (the write tier shards the flat stream, not namespaces)")
+	}
 	if opts.Interval <= 0 {
 		opts.Interval = time.Second
 	}
@@ -191,7 +209,7 @@ func New(opts Options) (*Coordinator, error) {
 		opts.Timeout = 5 * time.Second
 	}
 	if opts.Client == nil {
-		opts.Client = &http.Client{}
+		opts.Client = router.NewHTTPClient(opts.Timeout)
 	}
 	if opts.Epoch == 0 {
 		opts.Epoch = uint64(time.Now().UnixNano())
@@ -204,6 +222,7 @@ func New(opts Options) (*Coordinator, error) {
 		merge:    opts.MergeEncoded,
 		epoch:    opts.Epoch,
 		algo:     opts.Algo,
+		tenanted: opts.TenantMerge,
 		meter:    metrics.NewMeter(),
 		start:    time.Now(),
 	}
@@ -302,6 +321,10 @@ func (c *Coordinator) PullAll(ctx context.Context) {
 		wg.Add(1)
 		go func(ns *nodeState) {
 			defer wg.Done()
+			if c.tenanted {
+				c.pullTenantInto(ctx, ns)
+				return
+			}
 			sum, epoch, err := c.pullNode(ctx, ns)
 
 			c.mu.Lock()
@@ -355,6 +378,10 @@ func (c *Coordinator) rebuild() {
 	defer c.rebuildMu.Unlock()
 	if c.ring != nil {
 		c.rebuildPartitioned()
+		return
+	}
+	if c.tenanted {
+		c.rebuildTenants()
 		return
 	}
 	c.mu.Lock()

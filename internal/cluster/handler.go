@@ -23,17 +23,24 @@ import (
 //	POST /ingest    rejected with a pointer to the nodes: the coordinator
 //	                aggregates summaries, it does not own a stream
 
-// Handler returns the coordinator's HTTP API mux.
+// Handler returns the coordinator's HTTP API mux — the same /v1
+// surface (with legacy aliases) a node serves, so clients cannot tell
+// a freqmerge from a freqd.
 func (c *Coordinator) Handler() http.Handler {
 	q := &serve.QueryHandlers{View: c.ServingView, Meter: c.meter}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/topk", q.TopK)
-	mux.HandleFunc("/estimate", q.Estimate)
-	mux.HandleFunc("/summary", c.handleSummary)
-	mux.HandleFunc("/stats", c.handleStats)
-	mux.HandleFunc("/refresh", c.handleRefresh)
-	mux.HandleFunc("/ingest", c.handleIngest)
-	return mux
+	api := serve.NewAPI()
+	api.Route("GET", "/topk", q.TopK, "/topk")
+	api.Route("GET", "/estimate", q.Estimate, "/estimate")
+	api.Route("GET", "/summary", c.handleSummary, "/summary")
+	api.Route("GET", "/stats", c.handleStats, "/stats")
+	api.Route("POST", "/refresh", c.handleRefresh, "/refresh")
+	api.Route("POST", "/ingest", c.handleIngest, "/ingest")
+	if c.tenanted {
+		api.Route("GET", "/t/{ns}/topk", c.handleTenantTopK)
+		api.Route("GET", "/t/{ns}/estimate", c.handleTenantEstimate)
+		api.Route("GET", "/tenants", c.handleTenants)
+	}
+	return api.Handler()
 }
 
 // handleSummary re-exports the merged state in the node wire format, so
@@ -41,10 +48,6 @@ func (c *Coordinator) Handler() http.Handler {
 // hierarchically with no new protocol. 404 until the first good pull —
 // there is no algorithm to encode yet.
 func (c *Coordinator) handleSummary(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		serve.HTTPError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
 	v := c.merged.Load()
 	if v == nil || v.view == nil {
 		serve.HTTPError(w, http.StatusNotFound, "no merged summary to export (no successful pull, or every node is past -max-stale)")
@@ -68,10 +71,6 @@ func (c *Coordinator) handleSummary(w http.ResponseWriter, r *http.Request) {
 
 // handleStats reports the node-shaped vitals plus the cluster section.
 func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		serve.HTTPError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
 	st := c.Stats()
 	nodes := make([]map[string]any, len(st.Nodes))
 	for i, ns := range st.Nodes {
@@ -118,10 +117,6 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 // handleRefresh pulls every node synchronously, so operators and tests
 // get deterministic freshness the way a node's /refresh re-snapshots.
 func (c *Coordinator) handleRefresh(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		serve.HTTPError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
 	c.PullAll(r.Context())
 	c.meter.Add("refresh.forced", 1)
 	serve.WriteJSON(w, http.StatusOK, map[string]int64{"n": c.N()})

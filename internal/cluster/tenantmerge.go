@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"streamfreq/internal/core"
+	"streamfreq/internal/serve"
+	"streamfreq/internal/tenant"
+)
+
+// Tenant-merge mode: instead of one /summary blob per node, the
+// coordinator pulls each node's GET /v1/tenants/summary bundle — every
+// namespace's encoded summary in one frame — and merges the cluster
+// per namespace. The merged result answers /v1/t/{ns}/topk and
+// /v1/t/{ns}/estimate over the union stream of that namespace alone,
+// with the same guarantees the flat merge gives the whole stream; the
+// un-namespaced routes keep serving the merged default namespace.
+//
+// The pull still ships full cumulative state and the coordinator still
+// replaces a node's contribution wholesale, so restarts and retries
+// cannot double-count — the tenant table's WAL replay restores every
+// namespace before the node answers its first bundle pull.
+
+// pullTenantInto fetches one node's tenant bundle, decodes every
+// namespace, and records the outcome in ns — the tenant-mode analogue
+// of the pullNode + bookkeeping pair in PullAll.
+func (c *Coordinator) pullTenantInto(ctx context.Context, ns *nodeState) {
+	sums, epoch, err := c.pullTenantBundle(ctx, ns)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		ns.failures++
+		ns.lastErr = err.Error()
+		c.meter.Add("pulls.failed", 1)
+		return
+	}
+	var total int64
+	for nsName, sum := range sums {
+		algo := sum.Name()
+		if c.algo == "" {
+			c.algo = algo
+		}
+		if algo != c.algo {
+			ns.failures++
+			ns.lastErr = fmt.Sprintf("algorithm mismatch in namespace %q: node serves %s, cluster is %s", nsName, algo, c.algo)
+			c.meter.Add("pulls.mismatched", 1)
+			return
+		}
+		total += sum.N()
+	}
+	if ns.epoch != 0 && epoch != ns.epoch {
+		ns.restarts++
+		c.meter.Add("nodes.restarts", 1)
+	}
+	ns.tenantSums, ns.n, ns.epoch = sums, total, epoch
+	ns.sum = sums[""] // the default namespace backs the un-namespaced view
+	if ns.sum != nil {
+		ns.algo = ns.sum.Name()
+	} else {
+		ns.algo = c.algo
+	}
+	ns.lastPull = time.Now()
+	ns.pulls++
+	ns.lastErr = ""
+	c.meter.Add("pulls.ok", 1)
+}
+
+// pullTenantBundle fetches and decodes one node's namespace bundle.
+func (c *Coordinator) pullTenantBundle(ctx context.Context, ns *nodeState) (map[string]core.Summary, uint64, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ns.url+"/v1/tenants/summary", nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, 0, fmt.Errorf("GET /v1/tenants/summary: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, maxSummaryBytes+1))
+	if err != nil {
+		return nil, 0, fmt.Errorf("reading bundle body: %w", err)
+	}
+	if len(blob) > maxSummaryBytes {
+		return nil, 0, fmt.Errorf("bundle body exceeds %d bytes", maxSummaryBytes)
+	}
+	epoch, err := strconv.ParseUint(resp.Header.Get(serve.HeaderEpoch), 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("bad %s header %q", serve.HeaderEpoch, resp.Header.Get(serve.HeaderEpoch))
+	}
+	entries, err := tenant.DecodeBundle(blob)
+	if err != nil {
+		return nil, 0, err
+	}
+	sums := make(map[string]core.Summary, len(entries))
+	for _, e := range entries {
+		sum, err := c.merge(e.Blob)
+		if err != nil {
+			return nil, 0, fmt.Errorf("undecodable summary for namespace %q: %w", e.NS, err)
+		}
+		sums[e.NS] = sum
+	}
+	return sums, epoch, nil
+}
+
+// rebuildTenants merges the latest good bundles namespace by
+// namespace and publishes the result: the merged default namespace as
+// the un-namespaced serving view, the whole map behind the /v1/t/...
+// routes. Staleness handling matches the flat rebuild — a node past
+// -max-stale sits out every namespace.
+func (c *Coordinator) rebuildTenants() {
+	c.mu.Lock()
+	perNS := make(map[string][]core.Summary)
+	fresh, have, dropped := 0, 0, 0
+	anyData := false
+	for _, ns := range c.nodes {
+		ns.dropped = false
+		if ns.tenantSums == nil {
+			continue
+		}
+		anyData = true
+		if c.maxStale > 0 && time.Since(ns.lastPull) > c.maxStale {
+			ns.dropped = true
+			dropped++
+			continue
+		}
+		for name, sum := range ns.tenantSums {
+			perNS[name] = append(perNS[name], sum)
+		}
+		have++
+		if ns.lastErr == "" {
+			fresh++
+		}
+	}
+	c.mu.Unlock()
+
+	if !anyData {
+		return // before the first good pull
+	}
+	merged := make(map[string]core.Summary, len(perNS))
+	for name, sums := range perNS {
+		m, err := mergeSummaries(sums)
+		if err != nil {
+			c.mu.Lock()
+			c.mergeErr = fmt.Sprintf("namespace %q: %v", name, err)
+			c.mu.Unlock()
+			c.meter.Add("merges.failed", 1)
+			return
+		}
+		merged[name] = m
+	}
+	c.mu.Lock()
+	c.mergeErr = ""
+	c.mu.Unlock()
+	mv := &mergedView{builtAt: time.Now(), fresh: fresh, have: have, dropped: dropped, tenants: merged}
+	if def, ok := merged[""]; ok {
+		mv.view = def
+	}
+	c.merged.Store(mv)
+	c.merges.Add(1)
+	c.meter.Add("merges.ok", 1)
+}
+
+// mergedTenant returns the current merged view of one namespace.
+func (c *Coordinator) mergedTenant(name string) (core.Summary, bool) {
+	v := c.merged.Load()
+	if v == nil || v.tenants == nil {
+		return nil, false
+	}
+	sum, ok := v.tenants[name]
+	return sum, ok
+}
+
+// handleTenantTopK answers /v1/t/{ns}/topk over the merged namespace.
+func (c *Coordinator) handleTenantTopK(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("ns")
+	sum, ok := c.mergedTenant(name)
+	if !ok {
+		serve.HTTPError(w, http.StatusNotFound, "namespace %q has no merged data on this coordinator", name)
+		return
+	}
+	q := serve.QueryHandlers{View: func() core.ReadView { return sum }, Meter: c.meter}
+	q.TopK(w, r)
+}
+
+// handleTenantEstimate answers /v1/t/{ns}/estimate over the merged
+// namespace.
+func (c *Coordinator) handleTenantEstimate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("ns")
+	sum, ok := c.mergedTenant(name)
+	if !ok {
+		serve.HTTPError(w, http.StatusNotFound, "namespace %q has no merged data on this coordinator", name)
+		return
+	}
+	q := serve.QueryHandlers{View: func() core.ReadView { return sum }, Meter: c.meter}
+	q.Estimate(w, r)
+}
+
+// handleTenants lists the merged namespaces with their union-stream
+// positions.
+func (c *Coordinator) handleTenants(w http.ResponseWriter, r *http.Request) {
+	v := c.merged.Load()
+	type row struct {
+		NS string `json:"ns"`
+		N  int64  `json:"n"`
+	}
+	rows := []row{}
+	if v != nil {
+		for name, sum := range v.tenants {
+			rows = append(rows, row{NS: name, N: sum.N()})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].NS < rows[j].NS })
+	serve.WriteJSON(w, http.StatusOK, map[string]any{
+		"namespaces": rows,
+	})
+}

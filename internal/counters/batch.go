@@ -1,6 +1,8 @@
 package counters
 
 import (
+	"sync"
+
 	"streamfreq/internal/core"
 )
 
@@ -27,11 +29,13 @@ import (
 // reset touch exactly the distinct items, with no probing and no
 // tombstone hazards.
 //
-// The scratch is retained by its owning summary across batches (capacity
-// grows to the largest batch seen), so batch ingestion allocates nothing
-// in steady state; its footprint is charged by the owners' Bytes. Like
-// Update itself, it makes the summary unsafe for concurrent use; wrap
-// with core.Concurrent or core.Sharded.
+// The scratch is pooled across summaries (getAgg/putAgg): a batch
+// borrows one table for the duration of applyBatch and returns it, so
+// steady-state batch ingestion still allocates nothing, but a million
+// idle tenants retain zero scratch — only as many tables exist as
+// there are concurrently-applying batches. Like Update itself, using a
+// summary concurrently is not safe; wrap with core.Concurrent or
+// core.Sharded.
 type batchAgg struct {
 	// table[i] holds tag<<32 | count; count 0 marks an empty slot (live
 	// counts are ≥ 1, and maxAggChunk keeps counts inside 32 bits).
@@ -49,12 +53,14 @@ type batchAgg struct {
 // into chunks rather than silently wrapping a count into the tag bits.
 const maxAggChunk = 1 << 30
 
-// bytes reports the scratch's retained footprint, charged by the owning
-// summary's Bytes so the paper's space column reflects what batched
-// ingestion actually keeps resident.
-func (a *batchAgg) bytes() int {
-	return 8*len(a.table) + 8*len(a.keys) + 4*cap(a.slots)
-}
+// aggPool shares pre-aggregation tables across all counter summaries.
+// A table's capacity grows to the largest batch it has served and is
+// kept across uses; the pool bounds the population by the batch
+// concurrency of the process rather than by its summary count.
+var aggPool = sync.Pool{New: func() any { return new(batchAgg) }}
+
+func getAgg() *batchAgg  { return aggPool.Get().(*batchAgg) }
+func putAgg(a *batchAgg) { aggPool.Put(a) }
 
 // grow (re)sizes the table to hold n distinct items below ~50% load.
 func (a *batchAgg) grow(n int) {

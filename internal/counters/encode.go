@@ -124,17 +124,21 @@ func DecodeFrequent(data []byte) (*Frequent, error) {
 	return f, nil
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler.
+// MarshalBinary implements encoding.BinaryMarshaler. Entries are
+// written in heap-structural order; the flat storage's heap evolves
+// exactly as the old pointer heap did, so blobs stay byte-identical
+// across the slab refactor (the crash-recovery walls compare on this).
 func (s *SpaceSavingHeap) MarshalBinary() ([]byte, error) {
 	var w entWriter
 	w.buf.WriteString(magicSS)
 	w.u64(uint64(s.k))
 	w.i64(s.n)
-	w.u64(uint64(len(s.heap)))
-	for _, e := range s.heap {
-		w.u64(uint64(e.item))
-		w.i64(e.count)
-		w.i64(e.err)
+	w.u64(uint64(len(s.st.heap)))
+	for _, id := range s.st.heap {
+		nd := &s.st.nodes[id]
+		w.u64(uint64(nd.item))
+		w.i64(nd.count)
+		w.i64(nd.err)
 	}
 	return w.buf.Bytes(), nil
 }
@@ -142,6 +146,18 @@ func (s *SpaceSavingHeap) MarshalBinary() ([]byte, error) {
 // DecodeSpaceSavingHeap parses a summary produced by
 // (*SpaceSavingHeap).MarshalBinary.
 func DecodeSpaceSavingHeap(data []byte) (*SpaceSavingHeap, error) {
+	return decodeSpaceSavingHeap(data, nil)
+}
+
+// DecodeSpaceSaving parses an SS01 blob into slab-drawn storage — the
+// reload half of the multi-tenant table's evict/reload cycle, so a
+// tenant coming back from its compact blob lands in the same arena it
+// left.
+func (sl *Slab) DecodeSpaceSaving(data []byte) (*SpaceSavingHeap, error) {
+	return decodeSpaceSavingHeap(data, sl)
+}
+
+func decodeSpaceSavingHeap(data []byte, sl *Slab) (*SpaceSavingHeap, error) {
 	if len(data) < 4 || string(data[:4]) != magicSS {
 		return nil, fmt.Errorf("counters: not a SpaceSaving blob")
 	}
@@ -158,24 +174,31 @@ func DecodeSpaceSavingHeap(data []byte) (*SpaceSavingHeap, error) {
 	if remaining := len(r.data) - r.pos; uint64(remaining) != cnt*24 {
 		return nil, fmt.Errorf("counters: SpaceSaving payload %d bytes, want %d", remaining, cnt*24)
 	}
-	s := NewSpaceSavingHeap(int(k))
+	var s *SpaceSavingHeap
+	if sl != nil {
+		s = sl.NewSpaceSaving(int(k))
+	} else {
+		s = NewSpaceSavingHeap(int(k))
+	}
 	s.n = n
 	for i := uint64(0); i < cnt; i++ {
 		item := core.Item(r.u64())
 		count := r.i64()
 		errv := r.i64()
 		if count < 0 || errv < 0 || errv > count {
+			s.Release()
 			return nil, fmt.Errorf("counters: invalid SpaceSaving entry (count=%d err=%d)", count, errv)
 		}
-		e := &entry{item: item, count: count, err: errv}
-		s.index[item] = e
-		s.heap.push(e)
+		if s.st.lookup(item) >= 0 {
+			return nil, fmt.Errorf("counters: duplicate items in SpaceSaving blob")
+		}
+		id := int32(len(s.st.nodes))
+		s.st.nodes = append(s.st.nodes, ssNode{item: item, count: count, err: errv})
+		s.st.insert(item, id)
+		s.st.heapPush(id)
 	}
 	if err := r.done(); err != nil {
 		return nil, err
-	}
-	if len(s.index) != len(s.heap) {
-		return nil, fmt.Errorf("counters: duplicate items in SpaceSaving blob")
 	}
 	return s, nil
 }

@@ -25,7 +25,6 @@ type Frequent struct {
 	offset int64 // logical count of entry e is e.count − offset
 	n      int64
 	decs   int64 // total decrement mass, for diagnostics and tests
-	agg    batchAgg
 }
 
 // NewFrequent returns a Misra–Gries summary with k counters. k must be
@@ -114,11 +113,13 @@ func (f *Frequent) UpdateBatch(items []core.Item) {
 }
 
 func (f *Frequent) applyBatch(items []core.Item) {
-	distinct := f.agg.aggregate(items)
+	a := getAgg()
+	distinct := a.aggregate(items)
 	for i := 0; i < distinct; i++ {
-		f.Update(f.agg.pair(i))
+		f.Update(a.pair(i))
 	}
-	f.agg.release()
+	a.release()
+	putAgg(a)
 }
 
 // Estimate returns the Misra–Gries lower-bound estimate of x's count
@@ -185,9 +186,9 @@ func (f *Frequent) Entries() []core.ItemCount {
 	return out
 }
 
-// Bytes implements core.Summary; after batched ingest it includes the
-// retained pre-aggregation scratch.
-func (f *Frequent) Bytes() int { return entryBytes*f.k + f.agg.bytes() }
+// Bytes implements core.Summary. Batch pre-aggregation scratch is
+// pooled across summaries (see batch.go) and not charged per instance.
+func (f *Frequent) Bytes() int { return entryBytes * f.k }
 
 // Merge combines another Frequent summary into this one using the
 // Agarwal et al. mergeable-summaries rule: sum matching counters, then

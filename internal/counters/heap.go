@@ -10,21 +10,8 @@
 package counters
 
 import (
-	"sort"
-
 	"streamfreq/internal/core"
 )
-
-// sortEntriesByCountDesc orders entries by descending count, ties broken
-// by ascending item, matching core.SortByCountDesc's deterministic order.
-func sortEntriesByCountDesc(es []*entry) {
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].count != es[j].count {
-			return es[i].count > es[j].count
-		}
-		return es[i].item < es[j].item
-	})
-}
 
 // entry is one tracked (item, count) pair. err records the maximum
 // possible overestimation (Space-Saving) or the insertion-time deficit

@@ -1,6 +1,8 @@
 package counters
 
 import (
+	"sort"
+
 	"streamfreq/internal/core"
 )
 
@@ -19,20 +21,42 @@ import (
 // so every item with true count > n/k is tracked, and with k = ⌈1/ε⌉
 // counters Space-Saving solves the ε-approximate problem with perfect
 // recall and counts overestimated by at most εn.
+//
+// Storage is the flat slab layout of slab.go — counters in one
+// pointer-free node slice, an int32 id heap, and an open-addressed
+// index — instead of a Go map over heap-allocated entries. The
+// structural behavior (heap arrangement, and with it the SS01 wire
+// encoding) is identical to the old layout; what changed is that an
+// instance is three slice headers over flat memory, cheap enough to
+// hold millions of (NewSlab-backed) tenants resident.
 type SpaceSavingHeap struct {
-	k     int
-	index map[core.Item]*entry
-	heap  minHeap
-	n     int64
-	agg   batchAgg
+	k    int
+	n    int64
+	st   ssStorage
+	slab *Slab // non-nil when st came from a slab (see Release)
 }
 
-// NewSpaceSavingHeap returns an SSH summary with k counters.
+// NewSpaceSavingHeap returns an SSH summary with k counters, its
+// storage allocated standalone. Use (*Slab).NewSpaceSaving to draw the
+// storage from a shared arena instead.
 func NewSpaceSavingHeap(k int) *SpaceSavingHeap {
 	if k <= 0 {
 		panic("counters: SpaceSaving requires k > 0")
 	}
-	return &SpaceSavingHeap{k: k, index: make(map[core.Item]*entry, k)}
+	return &SpaceSavingHeap{k: k, st: newSSStorage(k)}
+}
+
+// Release returns slab-drawn storage to its slab for reuse and leaves
+// the summary empty and detached. A released summary must not be used
+// again; snapshots taken earlier are unaffected (Clone copies out of
+// the block). No-op for standalone instances.
+func (s *SpaceSavingHeap) Release() {
+	if s.slab != nil {
+		s.slab.put(s.k, s.st)
+		s.slab = nil
+	}
+	s.st = ssStorage{}
+	s.n = 0
 }
 
 // Name implements core.Summary.
@@ -47,10 +71,10 @@ func (s *SpaceSavingHeap) N() int64 { return s.n }
 // Min returns the smallest tracked count (0 while slots remain), which
 // bounds the count of every untracked item.
 func (s *SpaceSavingHeap) Min() int64 {
-	if len(s.heap) < s.k {
+	if len(s.st.heap) < s.k {
 		return 0
 	}
-	return s.heap[0].count
+	return s.st.nodes[s.st.heap[0]].count
 }
 
 // Update processes count arrivals of x. count must be positive.
@@ -58,35 +82,40 @@ func (s *SpaceSavingHeap) Update(x core.Item, count int64) {
 	mustPositive("SpaceSaving", count)
 	s.n += count
 
-	if e, ok := s.index[x]; ok {
-		e.count += count
-		s.heap.fix(e.idx)
+	if id := s.st.lookup(x); id >= 0 {
+		nd := &s.st.nodes[id]
+		nd.count += count
+		s.st.hcnt[nd.heapIdx] = nd.count
+		s.st.heapFix(int(nd.heapIdx))
 		return
 	}
-	if len(s.heap) < s.k {
-		e := &entry{item: x, count: count}
-		s.index[x] = e
-		s.heap.push(e)
+	if len(s.st.heap) < s.k {
+		id := int32(len(s.st.nodes))
+		s.st.nodes = append(s.st.nodes, ssNode{item: x, count: count})
+		s.st.insert(x, id)
+		s.st.heapPush(id)
 		return
 	}
 	// Replace the minimum counter: x inherits its count as error.
-	e := s.heap[0]
-	delete(s.index, e.item)
-	e.err = e.count
-	e.count += count
-	e.item = x
-	s.index[x] = e
-	s.heap.fix(0)
+	id := s.st.heap[0]
+	nd := &s.st.nodes[id]
+	s.st.remove(nd.item)
+	nd.err = nd.count
+	nd.count += count
+	nd.item = x
+	s.st.insert(x, id)
+	s.st.hcnt[0] = nd.count
+	s.st.heapFix(0)
 }
 
 // UpdateBatch implements core.BatchUpdater for unit-count arrivals: the
 // batch is pre-aggregated and the merged counts bulk-applied in
-// first-appearance order, so each distinct item pays one map lookup and
-// one heap sift per batch instead of one per arrival. The Space-Saving
-// invariants (no underestimates; per-entry err bounds the inherited
-// overcount; every item above n/k tracked) hold for the aggregated
-// replay exactly as for the scalar one, since a weighted update is the
-// unit rule applied with the arrivals adjacent.
+// first-appearance order, so each distinct item pays one index lookup
+// and one heap sift per batch instead of one per arrival. The
+// Space-Saving invariants (no underestimates; per-entry err bounds the
+// inherited overcount; every item above n/k tracked) hold for the
+// aggregated replay exactly as for the scalar one, since a weighted
+// update is the unit rule applied with the arrivals adjacent.
 func (s *SpaceSavingHeap) UpdateBatch(items []core.Item) {
 	for len(items) > maxAggChunk {
 		s.applyBatch(items[:maxAggChunk])
@@ -96,19 +125,21 @@ func (s *SpaceSavingHeap) UpdateBatch(items []core.Item) {
 }
 
 func (s *SpaceSavingHeap) applyBatch(items []core.Item) {
-	distinct := s.agg.aggregate(items)
+	a := getAgg()
+	distinct := a.aggregate(items)
 	for i := 0; i < distinct; i++ {
-		s.Update(s.agg.pair(i))
+		s.Update(a.pair(i))
 	}
-	s.agg.release()
+	a.release()
+	putAgg(a)
 }
 
 // Estimate returns the (over-)estimate for tracked items and the global
 // minimum counter for untracked items, the tightest upper bound
 // Space-Saving can certify.
 func (s *SpaceSavingHeap) Estimate(x core.Item) int64 {
-	if e, ok := s.index[x]; ok {
-		return e.count
+	if id := s.st.lookup(x); id >= 0 {
+		return s.st.nodes[id].count
 	}
 	return s.Min()
 }
@@ -116,8 +147,9 @@ func (s *SpaceSavingHeap) Estimate(x core.Item) int64 {
 // GuaranteedCount returns a certified lower bound on x's true count
 // (count − err for tracked items, 0 otherwise).
 func (s *SpaceSavingHeap) GuaranteedCount(x core.Item) int64 {
-	if e, ok := s.index[x]; ok {
-		return e.count - e.err
+	if id := s.st.lookup(x); id >= 0 {
+		nd := &s.st.nodes[id]
+		return nd.count - nd.err
 	}
 	return 0
 }
@@ -127,31 +159,22 @@ func (s *SpaceSavingHeap) GuaranteedCount(x core.Item) int64 {
 // perfect recall at any threshold > n/k.
 func (s *SpaceSavingHeap) Query(threshold int64) []core.ItemCount {
 	var out []core.ItemCount
-	for _, e := range s.heap {
-		if e.count >= threshold {
-			out = append(out, core.ItemCount{Item: e.item, Count: e.count})
+	for _, id := range s.st.heap {
+		nd := &s.st.nodes[id]
+		if nd.count >= threshold {
+			out = append(out, core.ItemCount{Item: nd.item, Count: nd.count})
 		}
 	}
 	core.SortByCountDesc(out)
 	return out
 }
 
-// Clone returns an independent deep copy: entries are duplicated at
-// their heap positions and the index rebuilt over the copies; the batch
-// pre-aggregation scratch starts fresh.
+// Clone returns an independent deep copy: the flat storage is copied
+// wholesale (same heap arrangement, same index layout) into standalone
+// slices, so a clone of a slab-backed tenant survives the tenant's
+// eviction.
 func (s *SpaceSavingHeap) Clone() *SpaceSavingHeap {
-	ns := &SpaceSavingHeap{
-		k:     s.k,
-		n:     s.n,
-		index: make(map[core.Item]*entry, len(s.index)),
-		heap:  make(minHeap, len(s.heap)),
-	}
-	for i, e := range s.heap {
-		ne := &entry{item: e.item, count: e.count, err: e.err, idx: e.idx}
-		ns.heap[i] = ne
-		ns.index[ne.item] = ne
-	}
-	return ns
+	return &SpaceSavingHeap{k: s.k, n: s.n, st: s.st.clone(s.k)}
 }
 
 // Snapshot implements core.Snapshotter.
@@ -159,17 +182,18 @@ func (s *SpaceSavingHeap) Snapshot() core.Summary { return s.Clone() }
 
 // Entries returns all tracked (item, estimate) pairs in descending order.
 func (s *SpaceSavingHeap) Entries() []core.ItemCount {
-	out := make([]core.ItemCount, 0, len(s.heap))
-	for _, e := range s.heap {
-		out = append(out, core.ItemCount{Item: e.item, Count: e.count})
+	out := make([]core.ItemCount, 0, len(s.st.heap))
+	for _, id := range s.st.heap {
+		out = append(out, core.ItemCount{Item: s.st.nodes[id].item, Count: s.st.nodes[id].count})
 	}
 	core.SortByCountDesc(out)
 	return out
 }
 
-// Bytes implements core.Summary; after batched ingest it includes the
-// retained pre-aggregation scratch.
-func (s *SpaceSavingHeap) Bytes() int { return entryBytes*s.k + s.agg.bytes() }
+// Bytes implements core.Summary: the exact flat-storage footprint
+// (nodes + id heap + index). Batch pre-aggregation scratch is pooled
+// across summaries (see batch.go) and no longer charged per instance.
+func (s *SpaceSavingHeap) Bytes() int { return ssBlockBytes(s.k) }
 
 // Merge combines another Space-Saving summary into this one following
 // the mergeable-summaries construction: counters for the same item are
@@ -188,42 +212,49 @@ func (s *SpaceSavingHeap) Merge(other core.Summary) error {
 		// what either summary advertises.
 		return core.Incompatible("SpaceSaving: counter budget mismatch (k=%d/%d)", s.k, o.k)
 	}
-	type pair struct{ count, err int64 }
-	combined := make(map[core.Item]pair, len(s.index)+len(o.index))
 	sMin, oMin := s.Min(), o.Min()
-	for it, e := range s.index {
-		p := pair{e.count, e.err}
-		if oe, ok := o.index[it]; ok {
-			p.count += oe.count
-			p.err += oe.err
+	all := make([]ssNode, 0, len(s.st.nodes)+len(o.st.nodes))
+	for i := range s.st.nodes {
+		nd := s.st.nodes[i]
+		if oid := o.st.lookup(nd.item); oid >= 0 {
+			nd.count += o.st.nodes[oid].count
+			nd.err += o.st.nodes[oid].err
 		} else {
-			p.count += oMin
-			p.err += oMin
+			nd.count += oMin
+			nd.err += oMin
 		}
-		combined[it] = p
+		all = append(all, nd)
 	}
-	for it, oe := range o.index {
-		if _, done := combined[it]; done {
+	for i := range o.st.nodes {
+		nd := o.st.nodes[i]
+		if s.st.lookup(nd.item) >= 0 {
 			continue
 		}
-		combined[it] = pair{oe.count + sMin, oe.err + sMin}
+		nd.count += sMin
+		nd.err += sMin
+		all = append(all, nd)
 	}
-	all := make([]*entry, 0, len(combined))
-	for it, p := range combined {
-		all = append(all, &entry{item: it, count: p.count, err: p.err})
-	}
-	// Keep the k largest counts.
-	sortEntriesByCountDesc(all)
+	// Keep the k largest counts (ties broken by ascending item,
+	// matching core.SortByCountDesc's deterministic order).
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].item < all[j].item
+	})
 	if len(all) > s.k {
 		all = all[:s.k]
 	}
-	s.index = make(map[core.Item]*entry, s.k)
-	s.heap = s.heap[:0]
-	for _, e := range all {
-		e.idx = -1
-		s.index[e.item] = e
-		s.heap.push(e)
+	s.st.reset()
+	for i := range all {
+		id := int32(len(s.st.nodes))
+		s.st.nodes = append(s.st.nodes, ssNode{item: all[i].item, count: all[i].count, err: all[i].err})
+		s.st.insert(all[i].item, id)
+		s.st.heapPush(id)
 	}
 	s.n += o.n
 	return nil
 }
+
+// validate checks the structural invariants; used only by tests.
+func (s *SpaceSavingHeap) validate() bool { return s.st.validateStorage() }

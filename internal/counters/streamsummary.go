@@ -23,7 +23,6 @@ type SpaceSavingList struct {
 	min   *ssBucket // bucket with the smallest count (head of list)
 	size  int
 	n     int64
-	agg   batchAgg
 }
 
 type ssBucket struct {
@@ -182,11 +181,13 @@ func (s *SpaceSavingList) UpdateBatch(items []core.Item) {
 }
 
 func (s *SpaceSavingList) applyBatch(items []core.Item) {
-	distinct := s.agg.aggregate(items)
+	a := getAgg()
+	distinct := a.aggregate(items)
 	for i := 0; i < distinct; i++ {
-		s.Update(s.agg.pair(i))
+		s.Update(a.pair(i))
 	}
-	s.agg.release()
+	a.release()
+	putAgg(a)
 }
 
 // Estimate mirrors SpaceSavingHeap.Estimate.
@@ -268,11 +269,12 @@ func (s *SpaceSavingList) Clone() *SpaceSavingList {
 func (s *SpaceSavingList) Snapshot() core.Summary { return s.Clone() }
 
 // Bytes accounts the entry payload plus the two extra pointers per entry
-// and the bucket nodes (charged one per entry, the worst case); after
-// batched ingest it includes the retained pre-aggregation scratch.
+// and the bucket nodes (charged one per entry, the worst case). Batch
+// pre-aggregation scratch is pooled across summaries (see batch.go) and
+// not charged per instance.
 func (s *SpaceSavingList) Bytes() int {
 	const listEntry = 2 * (8 + 8 + 8 + 8 + 8 + 8) // item, err, bucket ptr, 2 links + bucket share
-	return listEntry*s.k + s.agg.bytes()
+	return listEntry * s.k
 }
 
 // Merge combines another Stream-Summary Space-Saving into this one with

@@ -23,33 +23,65 @@ import (
 // temporary name, fsynced, and renamed over checkpoint.ckpt, so the
 // directory always holds exactly one complete checkpoint — the rename
 // either happened or it didn't.
+//
+// Magic "SFCKPT02" extends the body with a named tenant manifest after
+// the shard section:
+//
+//	u32 tenant count
+//	per tenant: u16 ns length | ns | u32 k | u64 n | u32 blob length | blob
+//
+// and relaxes the shard count to allow zero (a multi-tenant table keeps
+// all state, the default namespace included, in the tenant section).
+// SFCKPT01 files remain decodable — recovery treats them as a tenant
+// manifest of zero, and a single-shard 01 checkpoint restores into a
+// TenantTarget's default namespace.
 
 const (
-	ckptMagic = "SFCKPT01"
-	ckptName  = "checkpoint.ckpt"
-	// maxCkptShards/maxCkptBlob bound a corrupt header's allocations.
-	maxCkptShards = 1 << 12
-	maxCkptBlob   = 1 << 30
+	ckptMagic  = "SFCKPT01"
+	ckptMagic2 = "SFCKPT02"
+	ckptName   = "checkpoint.ckpt"
+	// maxCkptShards/maxCkptTenants/maxCkptBlob bound a corrupt header's
+	// allocations.
+	maxCkptShards  = 1 << 12
+	maxCkptTenants = 1 << 24
+	maxCkptBlob    = 1 << 30
 )
 
 // checkpoint is a parsed checkpoint file.
 type checkpoint struct {
-	algo   string
-	n      int64
-	walSeq uint64
-	blobs  [][]byte
+	algo    string
+	n       int64
+	walSeq  uint64
+	blobs   [][]byte
+	tenants []TenantState // Blob set; Summary nil
 }
 
-// encodeCheckpoint renders the file bytes.
+// encodeCheckpoint renders the file bytes: the SFCKPT01 layout when the
+// checkpoint has no tenant manifest (single-summary stores keep their
+// format, and old binaries keep reading their directories), SFCKPT02
+// when it does.
 func encodeCheckpoint(c checkpoint) []byte {
-	size := len(ckptMagic) + 4 + len(c.algo) + 8 + 8 + 4 + 4
+	size := len(ckptMagic) + 4 + len(c.algo) + 8 + 8 + 4 + 4 + 4
 	for _, b := range c.blobs {
 		size += 4 + len(b)
 	}
+	for _, t := range c.tenants {
+		size += 2 + len(t.NS) + 4 + 8 + 4 + len(t.Blob)
+	}
+	tenanted := c.tenants != nil
 	out := make([]byte, 0, size)
-	out = append(out, ckptMagic...)
+	if tenanted {
+		out = append(out, ckptMagic2...)
+	} else {
+		out = append(out, ckptMagic...)
+	}
+	var u16 [2]byte
 	var u32 [4]byte
 	var u64 [8]byte
+	put16 := func(v uint16) {
+		binary.LittleEndian.PutUint16(u16[:], v)
+		out = append(out, u16[:]...)
+	}
 	put32 := func(v uint32) {
 		binary.LittleEndian.PutUint32(u32[:], v)
 		out = append(out, u32[:]...)
@@ -67,16 +99,33 @@ func encodeCheckpoint(c checkpoint) []byte {
 		put32(uint32(len(b)))
 		out = append(out, b...)
 	}
+	if tenanted {
+		put32(uint32(len(c.tenants)))
+		for _, t := range c.tenants {
+			put16(uint16(len(t.NS)))
+			out = append(out, t.NS...)
+			put32(uint32(t.K))
+			put64(uint64(t.N))
+			put32(uint32(len(t.Blob)))
+			out = append(out, t.Blob...)
+		}
+	}
 	put32(crc32.Checksum(out[len(ckptMagic):], crcTable))
 	return out
 }
 
-// decodeCheckpoint parses and verifies checkpoint bytes.
+// decodeCheckpoint parses and verifies checkpoint bytes, accepting both
+// formats.
 func decodeCheckpoint(data []byte) (checkpoint, error) {
 	var c checkpoint
-	if len(data) < len(ckptMagic)+4 || string(data[:len(ckptMagic)]) != ckptMagic {
+	if len(data) < len(ckptMagic)+4 {
 		return c, fmt.Errorf("persist: not a checkpoint file")
 	}
+	magic := string(data[:len(ckptMagic)])
+	if magic != ckptMagic && magic != ckptMagic2 {
+		return c, fmt.Errorf("persist: not a checkpoint file")
+	}
+	tenanted := magic == ckptMagic2
 	body, trailer := data[len(ckptMagic):len(data)-4], data[len(data)-4:]
 	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(trailer) {
 		return c, fmt.Errorf("persist: checkpoint CRC mismatch (corrupt file)")
@@ -119,7 +168,7 @@ func decodeCheckpoint(data []byte) (checkpoint, error) {
 	if err != nil {
 		return c, err
 	}
-	if shards == 0 || shards > maxCkptShards {
+	if (shards == 0 && !tenanted) || shards > maxCkptShards {
 		return c, fmt.Errorf("persist: implausible checkpoint shard count %d", shards)
 	}
 	for i := uint32(0); i < shards; i++ {
@@ -132,6 +181,44 @@ func decodeCheckpoint(data []byte) (checkpoint, error) {
 		}
 		c.blobs = append(c.blobs, body[pos:pos+int(blobLen)])
 		pos += int(blobLen)
+	}
+	if tenanted {
+		tenants, err := u32()
+		if err != nil {
+			return c, err
+		}
+		if tenants > maxCkptTenants {
+			return c, fmt.Errorf("persist: implausible checkpoint tenant count %d", tenants)
+		}
+		for i := uint32(0); i < tenants; i++ {
+			if pos+2 > len(body) {
+				return c, fmt.Errorf("persist: truncated checkpoint at offset %d", pos)
+			}
+			nsLen := int(binary.LittleEndian.Uint16(body[pos:]))
+			pos += 2
+			if nsLen > MaxNamespaceLen || pos+nsLen > len(body) {
+				return c, fmt.Errorf("persist: implausible checkpoint namespace length %d (tenant %d)", nsLen, i)
+			}
+			ns := string(body[pos : pos+nsLen])
+			pos += nsLen
+			k, err := u32()
+			if err != nil {
+				return c, err
+			}
+			n, err := u64()
+			if err != nil {
+				return c, err
+			}
+			blobLen, err := u32()
+			if err != nil {
+				return c, err
+			}
+			if k == 0 || int64(n) < 0 || blobLen > maxCkptBlob || pos+int(blobLen) > len(body) {
+				return c, fmt.Errorf("persist: implausible checkpoint tenant entry (ns=%q k=%d blob=%d)", ns, k, blobLen)
+			}
+			c.tenants = append(c.tenants, TenantState{NS: ns, K: int(k), N: int64(n), Blob: body[pos : pos+int(blobLen)]})
+			pos += int(blobLen)
+		}
 	}
 	if pos != len(body) {
 		return c, fmt.Errorf("persist: %d trailing checkpoint bytes", len(body)-pos)
@@ -173,7 +260,7 @@ func (st *Store) Checkpoint(target Target) (Stats, error) {
 		newSeq uint64
 		cutErr error
 	)
-	clones := target.SnapshotBarrier(func(n int64) {
+	cut := func(n int64) {
 		// The barrier quiesces appends, so the staged tail is complete:
 		// drain it to the old segment, seal, and rotate — the new segment
 		// begins exactly at the clone's stream position.
@@ -207,20 +294,53 @@ func (st *Store) Checkpoint(target Target) (Stats, error) {
 			st.fail(cutErr)
 		}
 		st.mu.Unlock()
-	})
-	if cutErr != nil {
-		return Stats{}, cutErr
 	}
 
-	blobs := make([][]byte, len(clones))
-	for i, c := range clones {
-		blob, err := core.EncodeSummary(c)
-		if err != nil {
-			return Stats{}, fmt.Errorf("persist: encoding shard %d: %w", i, err)
+	ck := checkpoint{algo: st.opts.Algo}
+	if tt, ok := target.(TenantTarget); ok {
+		// Multi-tenant manifest: every namespace, resident or evicted,
+		// named and tagged with its counter budget. Entries arriving
+		// with Blob already set (evicted tenants) are written as-is —
+		// encode→decode→encode is byte-identical, so re-encoding would
+		// only cost time.
+		tenants := tt.TenantSnapshotBarrier(cut)
+		if cutErr != nil {
+			return Stats{}, cutErr
 		}
-		blobs[i] = blob
+		for i := range tenants {
+			if tenants[i].Blob != nil {
+				continue
+			}
+			blob, err := core.EncodeSummary(tenants[i].Summary)
+			if err != nil {
+				return Stats{}, fmt.Errorf("persist: encoding tenant %q: %w", tenants[i].NS, err)
+			}
+			tenants[i].Blob = blob
+			tenants[i].Summary = nil
+		}
+		ck.tenants = tenants
+		if len(tenants) == 0 {
+			// An empty table still needs a valid file; SFCKPT02 allows
+			// zero shards and zero tenants.
+			ck.tenants = []TenantState{}
+		}
+	} else {
+		clones := target.SnapshotBarrier(cut)
+		if cutErr != nil {
+			return Stats{}, cutErr
+		}
+		blobs := make([][]byte, len(clones))
+		for i, c := range clones {
+			blob, err := core.EncodeSummary(c)
+			if err != nil {
+				return Stats{}, fmt.Errorf("persist: encoding shard %d: %w", i, err)
+			}
+			blobs[i] = blob
+		}
+		ck.blobs = blobs
 	}
-	data := encodeCheckpoint(checkpoint{algo: st.opts.Algo, n: cutN, walSeq: newSeq, blobs: blobs})
+	ck.n, ck.walSeq = cutN, newSeq
+	data := encodeCheckpoint(ck)
 	if err := writeFileAtomic(st.opts.Dir, ckptName, data); err != nil {
 		return Stats{}, fmt.Errorf("persist: writing checkpoint: %w", err)
 	}

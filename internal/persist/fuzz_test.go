@@ -20,7 +20,7 @@ func segmentBytes(seq uint64, startN int64, batches ...[]core.Item) []byte {
 	binary.LittleEndian.PutUint64(hdr[16:24], uint64(startN))
 	out = append(out, hdr[:]...)
 	for _, b := range batches {
-		out = appendRecord(out, recUnit, b, 0, 0)
+		out = appendRecord(out, recUnit, "", 0, b, 0, 0)
 	}
 	return out
 }
@@ -46,7 +46,7 @@ func FuzzWALReplay(f *testing.F) {
 	// A forged weighted record with a negative count, aimed at a
 	// counter-based target: replay must contain the panic.
 	neg := segmentBytes(1, 0)
-	neg = appendRecord(neg, recWeighted, nil, 123, -5)
+	neg = appendRecord(neg, recWeighted, "", 0, nil, 123, -5)
 	f.Add(neg)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -85,7 +85,7 @@ func FuzzWALReplay(f *testing.F) {
 // not only under -fuzz.
 func TestFuzzSeedsDirect(t *testing.T) {
 	neg := segmentBytes(1, 0)
-	neg = appendRecord(neg, recWeighted, nil, 123, -5)
+	neg = appendRecord(neg, recWeighted, "", 0, nil, 123, -5)
 	valid := segmentBytes(1, 0, []core.Item{1, 2, 3})
 	seeds := [][]byte{
 		nil,
@@ -113,7 +113,7 @@ func TestFuzzSeedsDirect(t *testing.T) {
 	// the records before the poison.
 	dir := t.TempDir()
 	poisoned := segmentBytes(1, 0, []core.Item{7, 7})
-	poisoned = appendRecord(poisoned, recWeighted, nil, 123, -5)
+	poisoned = appendRecord(poisoned, recWeighted, "", 0, nil, 123, -5)
 	if err := os.WriteFile(filepath.Join(dir, "wal-0000000001.seg"), poisoned, 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -136,8 +136,8 @@ func TestFuzzSeedsDirect(t *testing.T) {
 	// loudly instead.
 	dir2 := t.TempDir()
 	mid := segmentBytes(1, 0, []core.Item{7, 7})
-	mid = appendRecord(mid, recWeighted, nil, 123, -5)
-	mid = appendRecord(mid, recUnit, []core.Item{8, 8, 8}, 0, 0)
+	mid = appendRecord(mid, recWeighted, "", 0, nil, 123, -5)
+	mid = appendRecord(mid, recUnit, "", 0, []core.Item{8, 8, 8}, 0, 0)
 	if err := os.WriteFile(filepath.Join(dir2, "wal-0000000001.seg"), mid, 0o644); err != nil {
 		t.Fatal(err)
 	}

@@ -131,6 +131,40 @@ type Target interface {
 	RestoreState([]core.Summary) error
 }
 
+// TenantState is one namespace's durable state: its counter budget at
+// instantiation, its stream position, and its summary — decoded
+// (Summary set) on the snapshot side, or still encoded (Blob set) on
+// the restore side, where the multi-tenant table keeps blobs inert
+// until the tenant is touched. N rides in the manifest so a restore can
+// verify global stream continuity without decoding a single blob.
+type TenantState struct {
+	NS      string
+	K       int
+	N       int64
+	Summary core.Summary
+	Blob    []byte
+}
+
+// TenantTarget extends Target for the multi-tenant table: tenant-tagged
+// WAL records replay through UpdateTenantBatch, and checkpoints carry a
+// named per-tenant manifest instead of anonymous shard blobs. A durable
+// target that does not implement TenantTarget never sees recTenant
+// records (they are only written through AppendTenantBatch) and keeps
+// the SFCKPT01 checkpoint format.
+type TenantTarget interface {
+	Target
+	// UpdateTenantBatch applies one replayed batch to namespace ns,
+	// lazily instantiating it with k counters if absent.
+	UpdateTenantBatch(ns string, k int, items []core.Item)
+	// TenantSnapshotBarrier clones every known tenant (resident and
+	// evicted) and cuts the log at one quiesced instant, mirroring
+	// Target.SnapshotBarrier.
+	TenantSnapshotBarrier(cut func(n int64)) []TenantState
+	// RestoreTenants injects recovered tenant state at startup; entries
+	// arrive with Blob set and may be decoded lazily.
+	RestoreTenants([]TenantState) error
+}
+
 // Options configures a Store.
 type Options struct {
 	// Dir is the data directory (required); created if absent.
@@ -299,23 +333,44 @@ const maxBatchItemsPerRecord = 1 << 22
 // exactly as passed to UpdateBatch, preserving batch boundaries.
 func (st *Store) AppendBatch(items []core.Item) {
 	for len(items) > maxBatchItemsPerRecord {
-		st.append(recUnit, items[:maxBatchItemsPerRecord], 0, 0, maxBatchItemsPerRecord)
+		st.append(recUnit, "", 0, items[:maxBatchItemsPerRecord], 0, 0, maxBatchItemsPerRecord)
 		items = items[maxBatchItemsPerRecord:]
 	}
 	if len(items) == 0 {
 		return
 	}
-	st.append(recUnit, items, 0, 0, int64(len(items)))
+	st.append(recUnit, "", 0, items, 0, 0, int64(len(items)))
 }
 
 // AppendUpdate implements core.Persister for the scalar weighted path
 // (including turnstile deletions: count may be negative).
 func (st *Store) AppendUpdate(x core.Item, count int64) {
-	st.append(recWeighted, nil, x, count, count)
+	st.append(recWeighted, "", 0, nil, x, count, count)
+}
+
+// AppendTenantBatch logs one unit-count batch tagged with its tenant
+// namespace and the tenant's counter budget k (see the recTenant record
+// layout in wal.go). The multi-tenant table calls this under its ingest
+// lock, so — exactly like AppendBatch — log order equals apply order.
+func (st *Store) AppendTenantBatch(ns string, k int, items []core.Item) {
+	if len(ns) > MaxNamespaceLen {
+		st.mu.Lock()
+		st.fail(fmt.Errorf("persist: tenant namespace of %d bytes exceeds the %d-byte bound", len(ns), MaxNamespaceLen))
+		st.mu.Unlock()
+		return
+	}
+	for len(items) > maxBatchItemsPerRecord {
+		st.append(recTenant, ns, k, items[:maxBatchItemsPerRecord], 0, 0, maxBatchItemsPerRecord)
+		items = items[maxBatchItemsPerRecord:]
+	}
+	if len(items) == 0 {
+		return
+	}
+	st.append(recTenant, ns, k, items, 0, 0, int64(len(items)))
 }
 
 // append stages one record and hands it onward per policy.
-func (st *Store) append(kind byte, items []core.Item, x core.Item, count, deltaN int64) {
+func (st *Store) append(kind byte, ns string, k int, items []core.Item, x core.Item, count, deltaN int64) {
 	st.mu.Lock()
 	if st.failed != nil {
 		st.mu.Unlock()
@@ -327,7 +382,7 @@ func (st *Store) append(kind byte, items []core.Item, x core.Item, count, deltaN
 		return
 	}
 	before := len(st.pending)
-	st.pending = appendRecord(st.pending, kind, items, x, count)
+	st.pending = appendRecord(st.pending, kind, ns, k, items, x, count)
 	st.walN += deltaN
 	st.appendedRecords++
 	st.appendedBytes += int64(len(st.pending) - before)

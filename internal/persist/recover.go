@@ -72,16 +72,41 @@ func (st *Store) Recover(target Target) (RecoveryStats, error) {
 		if st.opts.Decode == nil {
 			return stats, fmt.Errorf("persist: checkpoint present but Options.Decode is nil")
 		}
-		shards := make([]core.Summary, len(ck.blobs))
-		for i, blob := range ck.blobs {
-			s, err := st.opts.Decode(blob)
-			if err != nil {
-				return stats, fmt.Errorf("persist: decoding checkpoint shard %d: %w", i, err)
+		tt, tenanted := target.(TenantTarget)
+		switch {
+		case ck.tenants != nil && !tenanted:
+			return stats, fmt.Errorf("persist: checkpoint holds a multi-tenant manifest (%d namespaces) but the target is single-tenant", len(ck.tenants))
+		case ck.tenants != nil:
+			// Hand blobs over still encoded; the table decodes a tenant
+			// the first time it is touched (replay or query), so a
+			// million-namespace restart costs no upfront decode sweep.
+			if err := tt.RestoreTenants(ck.tenants); err != nil {
+				return stats, fmt.Errorf("persist: restoring tenant checkpoint: %w", err)
 			}
-			shards[i] = s
-		}
-		if err := target.RestoreState(shards); err != nil {
-			return stats, fmt.Errorf("persist: restoring checkpoint: %w", err)
+			stats.CheckpointShards = len(ck.tenants)
+		case tenanted && len(ck.blobs) == 1:
+			// A pre-tenant (SFCKPT01) directory adopted by a multi-tenant
+			// table: its single summary becomes the default namespace
+			// (K=0 means "derive the budget from the blob").
+			if err := tt.RestoreTenants([]TenantState{{NS: "", Blob: ck.blobs[0]}}); err != nil {
+				return stats, fmt.Errorf("persist: restoring legacy checkpoint into the default namespace: %w", err)
+			}
+			stats.CheckpointShards = 1
+		case tenanted:
+			return stats, fmt.Errorf("persist: %d-shard legacy checkpoint cannot restore into a multi-tenant table (only single-shard directories adopt)", len(ck.blobs))
+		default:
+			shards := make([]core.Summary, len(ck.blobs))
+			for i, blob := range ck.blobs {
+				s, err := st.opts.Decode(blob)
+				if err != nil {
+					return stats, fmt.Errorf("persist: decoding checkpoint shard %d: %w", i, err)
+				}
+				shards[i] = s
+			}
+			if err := target.RestoreState(shards); err != nil {
+				return stats, fmt.Errorf("persist: restoring checkpoint: %w", err)
+			}
+			stats.CheckpointShards = len(ck.blobs)
 		}
 		if got := target.LiveN(); got != ck.n {
 			return stats, fmt.Errorf("persist: restored state is at n=%d, checkpoint header says %d", got, ck.n)
@@ -89,7 +114,6 @@ func (st *Store) Recover(target Target) (RecoveryStats, error) {
 		curN = ck.n
 		minSeq = ck.walSeq
 		stats.CheckpointN = ck.n
-		stats.CheckpointShards = len(ck.blobs)
 	} else if !os.IsNotExist(err) {
 		return stats, fmt.Errorf("persist: reading checkpoint: %w", err)
 	}
@@ -129,6 +153,23 @@ func (st *Store) Recover(target Target) (RecoveryStats, error) {
 				return 0, err
 			}
 			target.UpdateBatch(itemBuf)
+			return int64(len(itemBuf)), nil
+		case recTenant: // applyRecord validated the framing
+			tt, ok := target.(TenantTarget)
+			if !ok {
+				return 0, fmt.Errorf("tenant-tagged record in a single-tenant store")
+			}
+			nsLen := int(binary.LittleEndian.Uint16(body[0:2]))
+			ns := string(body[2 : 2+nsLen])
+			k := int(binary.LittleEndian.Uint32(body[2+nsLen:]))
+			if k <= 0 {
+				return 0, fmt.Errorf("tenant record for %q with budget k=%d", ns, k)
+			}
+			var err error
+			if itemBuf, err = stream.DecodeRaw(itemBuf[:0], body[2+nsLen+4:]); err != nil {
+				return 0, err
+			}
+			tt.UpdateTenantBatch(ns, k, itemBuf)
 			return int64(len(itemBuf)), nil
 		default: // recWeighted; applyRecord validated the shape
 			x := core.Item(binary.LittleEndian.Uint64(body[0:8]))

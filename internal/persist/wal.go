@@ -26,7 +26,20 @@ const (
 
 	recUnit     = 0 // body = stream.AppendRaw items, one unit count each
 	recWeighted = 1 // body = item u64, count i64
+	// recTenant tags a unit-count batch with its namespace and the
+	// tenant's counter budget: u16 ns length | ns bytes | u32 k | items.
+	// Carrying k in every record makes replay self-sufficient — a tenant
+	// first seen after the last checkpoint is instantiated at exactly
+	// the budget it had when the record was written, which is what makes
+	// per-tenant recovery bit-identical. Old logs (kinds 0 and 1 only)
+	// replay unchanged.
+	recTenant = 2
 )
+
+// MaxNamespaceLen bounds a tenant namespace in WAL records, checkpoint
+// manifests, and the serving layer. 128 bytes covers any sane tenant
+// key and keeps the per-record framing overhead trivial.
+const MaxNamespaceLen = 128
 
 // segment is the active WAL file. Chunks of framed records are written
 // directly (the Store's pending buffer is the write buffer); fsync is
@@ -102,10 +115,15 @@ func (s *segment) close() {
 // little-endian item layout, emitted with direct index writes into a
 // pre-grown buffer — this runs under the ingest lock for every batch,
 // so the per-item append-call overhead is worth shaving.
-func appendRecord(dst []byte, kind byte, items []core.Item, x core.Item, count int64) []byte {
-	bodyLen := 16
-	if kind == recUnit {
+func appendRecord(dst []byte, kind byte, ns string, k int, items []core.Item, x core.Item, count int64) []byte {
+	var bodyLen int
+	switch kind {
+	case recUnit:
 		bodyLen = 8 * len(items)
+	case recWeighted:
+		bodyLen = 16
+	case recTenant:
+		bodyLen = 2 + len(ns) + 4 + 8*len(items)
 	}
 	start := len(dst)
 	need := recHeaderSize + 1 + bodyLen
@@ -129,6 +147,15 @@ func appendRecord(dst []byte, kind byte, items []core.Item, x core.Item, count i
 	case recWeighted:
 		binary.LittleEndian.PutUint64(body[0:8], uint64(x))
 		binary.LittleEndian.PutUint64(body[8:16], uint64(count))
+	case recTenant:
+		binary.LittleEndian.PutUint16(body[0:2], uint16(len(ns)))
+		copy(body[2:], ns)
+		off := 2 + len(ns)
+		binary.LittleEndian.PutUint32(body[off:], uint32(k))
+		off += 4
+		for i, it := range items {
+			binary.LittleEndian.PutUint64(body[off+i*8:], uint64(it))
+		}
 	}
 	payload := dst[start+recHeaderSize:]
 	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
@@ -270,6 +297,17 @@ func applyRecord(payload []byte, apply func(kind byte, body []byte) (int64, erro
 	case recWeighted:
 		if len(body) != 16 {
 			return 0, fmt.Errorf("weighted record body of %d bytes", len(body))
+		}
+	case recTenant:
+		if len(body) < 2 {
+			return 0, fmt.Errorf("tenant record body of %d bytes", len(body))
+		}
+		nsLen := int(binary.LittleEndian.Uint16(body[0:2]))
+		if nsLen > MaxNamespaceLen || len(body) < 2+nsLen+4 {
+			return 0, fmt.Errorf("tenant record with implausible namespace length %d", nsLen)
+		}
+		if itemsLen := len(body) - 2 - nsLen - 4; itemsLen == 0 || itemsLen%8 != 0 {
+			return 0, fmt.Errorf("tenant record item section of %d bytes", len(body)-2-nsLen-4)
 		}
 	default:
 		return 0, fmt.Errorf("unknown record kind %d", kind)

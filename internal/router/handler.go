@@ -25,14 +25,15 @@ import (
 // items; token spellings are not propagated to shards, so label lookups
 // (/topk tokens) are a per-node feature the tier does not aggregate.
 
-// Handler returns the router's HTTP API mux.
+// Handler returns the router's HTTP API mux: the /v1 surface with the
+// pre-versioning paths as aliases, like the other daemons.
 func (rt *Router) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/ingest", rt.handleIngest)
-	mux.HandleFunc("/stats", rt.handleStats)
-	mux.HandleFunc("/shardmap", rt.handleShardMap)
-	mux.HandleFunc("/probe", rt.handleProbe)
-	return mux
+	api := serve.NewAPI()
+	api.Route("POST", "/ingest", rt.handleIngest, "/ingest")
+	api.Route("GET", "/stats", rt.handleStats, "/stats")
+	api.Route("GET", "/shardmap", rt.handleShardMap, "/shardmap")
+	api.Route("POST", "/probe", rt.handleProbe, "/probe")
+	return api.Handler()
 }
 
 // handleIngest streams the request body in bounded batches: decode,
@@ -41,10 +42,6 @@ func (rt *Router) Handler() http.Handler {
 // client's send order, and a slow shard backpressures the request
 // instead of buffering the body.
 func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		serve.HTTPError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
 	body := http.MaxBytesReader(w, r.Body, rt.maxIn)
 	src, err := stream.OpenIngest(r.Header.Get("Content-Type"), body, 0)
 	if err != nil {
@@ -123,10 +120,6 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 // handleStats reports tier traffic and per-shard health.
 func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		serve.HTTPError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
 	m := rt.ShardMap()
 	rt.mu.Lock()
 	resp := map[string]any{
@@ -146,19 +139,11 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // handleShardMap publishes the partition contract.
 func (rt *Router) handleShardMap(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		serve.HTTPError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
 	serve.WriteJSON(w, http.StatusOK, rt.ShardMap())
 }
 
 // handleProbe runs one health sweep now and returns the refreshed map.
 func (rt *Router) handleProbe(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		serve.HTTPError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
 	rt.Probe(r.Context())
 	serve.WriteJSON(w, http.StatusOK, rt.ShardMap())
 }

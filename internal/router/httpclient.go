@@ -1,0 +1,39 @@
+package router
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// NewHTTPClient is the one intra-cluster HTTP client configuration:
+// forwards, probes, shard-map fetches, and coordinator pulls all build
+// their default client here, so every hop between daemons carries the
+// same transport-level guards instead of whatever zero value each call
+// site reached for. http.DefaultClient in particular has none — a
+// black-holed peer would pin a goroutine forever.
+//
+// The per-request deadline still comes from the caller's context (the
+// router's and coordinator's Timeout options); these bounds catch the
+// phases a context cancel can least afford to wait out — dialing a
+// dead host, a peer that accepts but never sends headers — and keep
+// idle connections pooled per replica so steady traffic does not
+// re-handshake.
+func NewHTTPClient(timeout time.Duration) *http.Client {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return &http.Client{
+		Transport: &http.Transport{
+			DialContext: (&net.Dialer{
+				Timeout:   timeout,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			TLSHandshakeTimeout:   timeout,
+			ResponseHeaderTimeout: timeout,
+			MaxIdleConns:          64,
+			MaxIdleConnsPerHost:   8,
+			IdleConnTimeout:       90 * time.Second,
+		},
+	}
+}

@@ -51,8 +51,9 @@ type Options struct {
 	IngestBatch int
 	// MaxIngestBytes bounds one /ingest request body (defaults to 64 MiB).
 	MaxIngestBytes int64
-	// Client is the forwarding HTTP client (defaults to a fresh
-	// http.Client; attempt deadlines come from Timeout, not the client).
+	// Client is the forwarding HTTP client (defaults to
+	// NewHTTPClient(Timeout), the shared intra-cluster transport
+	// config; attempt deadlines come from Timeout, not the client).
 	Client *http.Client
 }
 
@@ -137,7 +138,7 @@ func New(opts Options) (*Router, error) {
 		opts.MaxIngestBytes = 64 << 20
 	}
 	if opts.Client == nil {
-		opts.Client = &http.Client{}
+		opts.Client = NewHTTPClient(opts.Timeout)
 	}
 	rt := &Router{
 		ring:    ring,

@@ -99,7 +99,10 @@ func (rt *Router) ShardMap() *ShardMap {
 // daemons.
 func FetchShardMap(ctx context.Context, client *http.Client, base string) (*ShardMap, error) {
 	if client == nil {
-		client = http.DefaultClient
+		// Not http.DefaultClient: the shared config bounds dialing and
+		// header waits, so a black-holed router fails the fetch instead
+		// of hanging freqmerge startup past its context.
+		client = NewHTTPClient(0)
 	}
 	if !strings.Contains(base, "://") {
 		base = "http://" + base

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// The versioned HTTP surface shared by all three daemons. Every
+// endpoint lives under /v1/..., with the pre-versioning paths kept as
+// aliases so existing clients, dashboards, and curl muscle memory keep
+// working. The API wrapper owns the cross-cutting contract so the
+// daemons cannot drift apart:
+//
+//   - method enforcement: a wrong method gets 405 with an Allow header
+//     listing what the route accepts, in the JSON error envelope;
+//   - one error shape: {"error":{"code":"...","message":"..."}} for
+//     every failure on every daemon (HTTPError renders it);
+//   - a uniform 404 envelope for unknown paths;
+//   - GET /healthz on every daemon: a load balancer probes freqd,
+//     freqmerge, and freqrouter identically.
+//
+// Handlers registered through Route never see a method they did not
+// declare, so they carry no method checks of their own.
+
+// API accumulates versioned routes into one mux.
+type API struct {
+	mux *http.ServeMux
+}
+
+// NewAPI returns an API with the fallback 404 envelope and /healthz
+// pre-registered.
+func NewAPI() *API {
+	a := &API{mux: http.NewServeMux()}
+	a.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		HTTPError(w, http.StatusNotFound, "no such endpoint %s (the API lives under /v1/)", r.URL.Path)
+	})
+	a.Route("GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}, "/healthz")
+	return a
+}
+
+// Route registers handler at /v1<pattern> (and at each absolute legacy
+// alias), accepting only the comma-separated methods. pattern may use
+// ServeMux path wildcards ({ns}).
+func (a *API) Route(methods, pattern string, handler http.HandlerFunc, aliases ...string) {
+	allowed := strings.Split(methods, ",")
+	wrapped := func(w http.ResponseWriter, r *http.Request) {
+		for _, m := range allowed {
+			if r.Method == m {
+				handler(w, r)
+				return
+			}
+		}
+		w.Header().Set("Allow", strings.Join(allowed, ", "))
+		HTTPError(w, http.StatusMethodNotAllowed, "%s requires %s", r.URL.Path, methods)
+	}
+	a.mux.HandleFunc("/v1"+pattern, wrapped)
+	for _, alias := range aliases {
+		a.mux.HandleFunc(alias, wrapped)
+	}
+}
+
+// Handler returns the assembled mux.
+func (a *API) Handler() http.Handler { return a.mux }
+
+// errorCode maps an HTTP status to the stable machine-readable code in
+// the error envelope, so clients switch on a string that survives
+// message rewording.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusRequestEntityTooLarge:
+		return "payload_too_large"
+	case http.StatusUnsupportedMediaType:
+		return "unsupported_media_type"
+	case http.StatusTooManyRequests:
+		return "too_many_requests"
+	case http.StatusInternalServerError:
+		return "internal"
+	case http.StatusNotImplemented:
+		return "not_implemented"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		return fmt.Sprintf("http_%d", status)
+	}
+}

@@ -43,9 +43,21 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// HTTPError renders a JSON error body with the given status.
+// ErrorBody is the one error envelope every daemon speaks:
+// {"error":{"code":"...","message":"..."}}. The code is a stable
+// machine-readable token derived from the status; the message is for
+// humans and may reword freely.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// HTTPError renders the JSON error envelope with the given status.
 func HTTPError(w http.ResponseWriter, status int, format string, args ...any) {
-	WriteJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+	WriteJSON(w, status, map[string]ErrorBody{"error": {
+		Code:    errorCode(status),
+		Message: fmt.Sprintf(format, args...),
+	}})
 }
 
 // reportedItem is one /topk row.
@@ -73,6 +85,17 @@ type QueryHandlers struct {
 	View  func() core.ReadView
 	Name  func(core.Item) string
 	Meter *metrics.Meter
+	// DefaultPhi is the threshold used when a /topk request names
+	// neither ?phi nor ?threshold (0 means the historical 0.01). Tenant
+	// routes set it to the namespace's φ.
+	DefaultPhi float64
+}
+
+func (q *QueryHandlers) defaultPhi() float64 {
+	if q.DefaultPhi > 0 {
+		return q.DefaultPhi
+	}
+	return 0.01
 }
 
 // windowedView is the optional recent-traffic surface of a sliding-
@@ -109,12 +132,9 @@ func (q *QueryHandlers) label(it core.Item) string {
 }
 
 // TopK answers a threshold query (?phi= or ?threshold=, &k= caps the
-// report) against one pinned view.
+// report) against one pinned view. Method enforcement is the API
+// wrapper's job (Route), not the handler's.
 func (q *QueryHandlers) TopK(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		HTTPError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
 	query := r.URL.Query()
 	view := q.View()
 	n := thresholdN(view)
@@ -130,7 +150,7 @@ func (q *QueryHandlers) TopK(w http.ResponseWriter, r *http.Request) {
 	default:
 		phiStr := query.Get("phi")
 		if phiStr == "" {
-			phiStr = "0.01"
+			phiStr = strconv.FormatFloat(q.defaultPhi(), 'g', -1, 64)
 		}
 		phi, err := strconv.ParseFloat(phiStr, 64)
 		if err != nil || phi <= 0 || phi >= 1 {
@@ -164,10 +184,6 @@ func (q *QueryHandlers) TopK(w http.ResponseWriter, r *http.Request) {
 // Estimate answers a point query (?item=123 | ?item=0x7b | ?token=foo)
 // from one pinned view.
 func (q *QueryHandlers) Estimate(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		HTTPError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
 	query := r.URL.Query()
 	var it core.Item
 	switch {

@@ -50,6 +50,7 @@ import (
 	"streamfreq/internal/metrics"
 	"streamfreq/internal/persist"
 	"streamfreq/internal/stream"
+	"streamfreq/internal/tenant"
 	"streamfreq/internal/window"
 )
 
@@ -141,6 +142,12 @@ type Options struct {
 	// epoch changes to detect node restarts, so an explicit value is
 	// only for tests that need determinism.
 	Epoch uint64
+	// Tenants, when set, is the multi-tenant table behind Target (the
+	// table itself, or wrapped): the /v1/t/{ns}/... and /v1/tenants
+	// routes are served against it, and /stats grows a "tenants"
+	// section. Target keeps answering the un-namespaced routes through
+	// the table's default namespace.
+	Tenants *tenant.Table
 }
 
 // Server is the freqd HTTP serving state: the target summary, the token
@@ -154,6 +161,7 @@ type Server struct {
 	store    *persist.Store
 	maxLag   int64
 	durable  persist.Target // target as persist.Target; nil without a store
+	tenants  *tenant.Table
 	meter    *metrics.Meter
 	start    time.Time
 	epoch    uint64
@@ -195,6 +203,7 @@ func NewServer(opts Options) *Server {
 		maxNames: opts.MaxTokenNames,
 		store:    opts.Store,
 		maxLag:   opts.MaxLag,
+		tenants:  opts.Tenants,
 		meter:    metrics.NewMeter(),
 		start:    time.Now(),
 		epoch:    opts.Epoch,
@@ -211,17 +220,27 @@ func NewServer(opts Options) *Server {
 	return s
 }
 
-// Handler returns the HTTP API mux.
+// Handler returns the HTTP API mux: the /v1 surface with the
+// pre-versioning paths as aliases, plus the tenant routes when the
+// target is a tenant table.
 func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/ingest", s.handleIngest)
-	mux.HandleFunc("/topk", s.queries.TopK)
-	mux.HandleFunc("/estimate", s.queries.Estimate)
-	mux.HandleFunc("/summary", s.handleSummary)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/refresh", s.handleRefresh)
-	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
-	return mux
+	api := NewAPI()
+	api.Route("POST", "/ingest", s.handleIngest, "/ingest")
+	api.Route("GET", "/topk", s.queries.TopK, "/topk")
+	api.Route("GET", "/estimate", s.queries.Estimate, "/estimate")
+	api.Route("GET", "/summary", s.handleSummary, "/summary")
+	api.Route("GET", "/stats", s.handleStats, "/stats")
+	api.Route("POST", "/refresh", s.handleRefresh, "/refresh")
+	api.Route("POST", "/checkpoint", s.handleCheckpoint, "/checkpoint")
+	if s.tenants != nil {
+		api.Route("POST", "/t/{ns}/ingest", s.handleTenantIngest)
+		api.Route("GET", "/t/{ns}/topk", s.handleTenantTopK)
+		api.Route("GET", "/t/{ns}/estimate", s.handleTenantEstimate)
+		api.Route("GET", "/t/{ns}/stats", s.handleTenantStats)
+		api.Route("GET", "/tenants", s.handleTenants)
+		api.Route("GET", "/tenants/summary", s.handleTenantBundle)
+	}
+	return api.Handler()
 }
 
 func (s *Server) mergeNames(names map[core.Item]string) {
@@ -249,10 +268,6 @@ func (s *Server) lookupName(it core.Item) string {
 // handleIngest streams the request body into the summary in bounded
 // batches through the target's UpdateBatch path.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		HTTPError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
 	if s.store != nil {
 		if err := s.store.Err(); err != nil {
 			// The WAL has failed: accepting this write would acknowledge
@@ -338,10 +353,6 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // merges the per-shard clones into one summary of the node's whole
 // stream, so the wire always carries exactly one blob per node.
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		HTTPError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
 	sn, ok := s.target.(core.Snapshotter)
 	if !ok {
 		HTTPError(w, http.StatusNotImplemented, "target %s cannot snapshot", s.target.Name())
@@ -354,10 +365,6 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 // handleStats reports serving state: the summary's vitals, snapshot
 // freshness, and traffic meters.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		HTTPError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
 	// Report the live ingest position (one locked integer read) so the
 	// ingest/serving lag is observable next to snapshot.as_of_n; the
 	// snapshot read path would make the two always equal.
@@ -403,6 +410,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"slack":            wst.Slack,
 			"boundary_expired": wst.BoundaryExpired,
 		}
+	}
+	if s.tenants != nil {
+		resp["tenants"] = s.tenants.TableStats()
 	}
 	if ps, ok := s.target.(pipelineStatser); ok {
 		// The target is the pipelined ingest plane: surface the
@@ -454,10 +464,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // call it before planned maintenance so the restart replays nothing,
 // and tests use it as a deterministic durability cutover.
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		HTTPError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
 	if s.store == nil {
 		HTTPError(w, http.StatusNotImplemented, "persistence is not enabled (-data-dir)")
 		return
@@ -479,10 +485,6 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 // tests) can cut over deterministically instead of waiting out the
 // staleness bound.
 func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		HTTPError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
 	ss, ok := s.target.(snapshotServer)
 	if !ok {
 		HTTPError(w, http.StatusNotImplemented, "target has no snapshot serving")

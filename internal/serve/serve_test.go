@@ -299,10 +299,13 @@ func TestFreqdErrorPaths(t *testing.T) {
 				t.Fatalf("%s %s: status %d, want %d (%s)", tc.method, tc.path, resp.StatusCode, tc.wantStatus, b)
 			}
 			var errBody struct {
-				Error string `json:"error"`
+				Error struct {
+					Code    string `json:"code"`
+					Message string `json:"message"`
+				} `json:"error"`
 			}
-			if err := json.NewDecoder(resp.Body).Decode(&errBody); err != nil || errBody.Error == "" {
-				t.Fatalf("%s %s: error body not JSON with error field (%v)", tc.method, tc.path, err)
+			if err := json.NewDecoder(resp.Body).Decode(&errBody); err != nil || errBody.Error.Code == "" || errBody.Error.Message == "" {
+				t.Fatalf("%s %s: error body not the {\"error\":{\"code\",\"message\"}} envelope (%v)", tc.method, tc.path, err)
 			}
 		})
 	}

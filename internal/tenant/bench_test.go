@@ -1,0 +1,70 @@
+package tenant_test
+
+// BenchmarkTenantIngest prices tenancy: the same zipf batches pushed
+// through one namespace (the no-fanout floor) and sprayed across 10k
+// namespaces with a bounded resident set (the worst case: most batches
+// land on an evicted tenant and pay a reload+evict round trip). The
+// fanout cases report bytes/tenant — the acceptance bound the README
+// documents — computed from the table's own accounting.
+
+import (
+	"fmt"
+	"testing"
+
+	"streamfreq/internal/core"
+	"streamfreq/internal/tenant"
+	"streamfreq/internal/zipf"
+)
+
+func benchItems(b *testing.B, n int) []core.Item {
+	b.Helper()
+	g, err := zipf.NewGenerator(1<<12, 1.1, 42, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g.Stream(n)
+}
+
+func BenchmarkTenantIngest(b *testing.B) {
+	const batchLen = 256
+	items := benchItems(b, batchLen)
+
+	b.Run("single", func(b *testing.B) {
+		tbl, err := tenant.NewTable(tenant.Options{DefaultPhi: 1.0 / 63})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.SetBytes(batchLen * 8)
+		for i := 0; i < b.N; i++ {
+			if _, _, err := tbl.IngestBatch("hot", items); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	for _, resident := range []int{1 << 10, 1 << 13} {
+		b.Run(fmt.Sprintf("fanout10k/resident%d", resident), func(b *testing.B) {
+			const tenants = 10_000
+			tbl, err := tenant.NewTable(tenant.Options{DefaultPhi: 1.0 / 63, MaxResident: resident})
+			if err != nil {
+				b.Fatal(err)
+			}
+			names := make([]string, tenants)
+			for i := range names {
+				names[i] = fmt.Sprintf("t%05d", i)
+			}
+			b.ReportAllocs()
+			b.SetBytes(batchLen * 8)
+			for i := 0; i < b.N; i++ {
+				if _, _, err := tbl.IngestBatch(names[i%tenants], items); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if created := tbl.TableStats().Created; created > 0 {
+				b.ReportMetric(float64(tbl.Bytes())/float64(created), "bytes/tenant")
+			}
+		})
+	}
+}

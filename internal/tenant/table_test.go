@@ -1,0 +1,470 @@
+package tenant_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"streamfreq/internal/core"
+	"streamfreq/internal/counters"
+	"streamfreq/internal/persist"
+	"streamfreq/internal/tenant"
+	"streamfreq/internal/zipf"
+)
+
+func testStream(t testing.TB, n int, seed uint64) []core.Item {
+	t.Helper()
+	g, err := zipf.NewGenerator(1<<12, 1.1, seed, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Stream(n)
+}
+
+func newTable(t testing.TB, opts tenant.Options) *tenant.Table {
+	t.Helper()
+	tb, err := tenant.NewTable(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+// encodeNS pulls one namespace's canonical wire bytes out of a bundle.
+func encodeNS(t testing.TB, tb *tenant.Table, ns string) []byte {
+	t.Helper()
+	bundle, err := tb.EncodeBundle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := tenant.DecodeBundle(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.NS == ns {
+			return e.Blob
+		}
+	}
+	t.Fatalf("namespace %q missing from bundle", ns)
+	return nil
+}
+
+// TestTenantIsolation is the isolation wall: interleaving ingest across
+// K namespaces — under an eviction cap small enough that tenants cycle
+// through evict/reload constantly — must leave every namespace
+// bit-identical to an independent Space-Saving summary fed only its own
+// stream.
+func TestTenantIsolation(t *testing.T) {
+	const tenants = 8
+	phi := map[string]float64{"t0": 0.5, "t3": 0.02} // mixed budgets
+	tb := newTable(t, tenant.Options{DefaultPhi: 0.01, MaxResident: 2, Phi: phi})
+
+	streams := make([][]core.Item, tenants)
+	indep := make([]*counters.SpaceSavingHeap, tenants)
+	for i := range streams {
+		streams[i] = testStream(t, 6_000, uint64(0xD15C+i))
+		p := 0.01
+		if v, ok := phi[fmt.Sprintf("t%d", i)]; ok {
+			p = v
+		}
+		indep[i] = counters.NewSpaceSavingHeap(int(1/p) + 1)
+	}
+
+	// Interleave in uneven slices so tenants constantly displace each
+	// other from the 2-slot residency.
+	sizes := []int{512, 3, 1024, 97, 301}
+	offs := make([]int, tenants)
+	for done := false; !done; {
+		done = true
+		for i := range streams {
+			if offs[i] >= len(streams[i]) {
+				continue
+			}
+			done = false
+			n := sizes[(i+offs[i])%len(sizes)]
+			if offs[i]+n > len(streams[i]) {
+				n = len(streams[i]) - offs[i]
+			}
+			batch := streams[i][offs[i] : offs[i]+n]
+			if _, _, err := tb.IngestBatch(fmt.Sprintf("t%d", i), batch); err != nil {
+				t.Fatal(err)
+			}
+			indep[i].UpdateBatch(batch)
+			offs[i] += n
+		}
+	}
+
+	st := tb.TableStats()
+	if st.Resident > 2 {
+		t.Fatalf("residency cap violated: %d resident", st.Resident)
+	}
+	if st.Evictions == 0 || st.Reloads == 0 {
+		t.Fatalf("wall needs evict/reload churn to mean anything: %+v", st)
+	}
+	for i := range streams {
+		ns := fmt.Sprintf("t%d", i)
+		want, err := indep[i].MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := encodeNS(t, tb, ns); !bytes.Equal(got, want) {
+			t.Fatalf("namespace %q is not bit-identical to its independent summary", ns)
+		}
+		// Reads must agree too (and must not disturb correctness when
+		// they trigger a reload).
+		top, ok := tb.TenantQuery(ns, 1)
+		if !ok {
+			t.Fatalf("namespace %q vanished", ns)
+		}
+		wantTop := indep[i].Query(1)
+		if len(top) != len(wantTop) {
+			t.Fatalf("namespace %q query returned %d items, want %d", ns, len(top), len(wantTop))
+		}
+	}
+}
+
+// op is one logged ingest step, replayable against a shadow table.
+type op struct {
+	ns       string
+	items    []core.Item
+	weighted bool
+	x        core.Item
+	count    int64
+}
+
+func applyOp(t testing.TB, tb *tenant.Table, o op) int64 {
+	t.Helper()
+	if o.weighted {
+		tb.Update(o.x, o.count)
+		return o.count
+	}
+	if _, _, err := tb.IngestBatch(o.ns, o.items); err != nil {
+		t.Fatal(err)
+	}
+	return int64(len(o.items))
+}
+
+// TestTenantRecoveryKillAtArbitraryOffset is the durability wall: a
+// multi-tenant table logged through tenant-tagged WAL records, with a
+// mid-stream SFCKPT02 checkpoint, killed by truncating the live
+// segment at an arbitrary byte offset, must recover to a state
+// bit-identical (per namespace, via the canonical encoding) to
+// replaying exactly the surviving record prefix into a fresh table.
+// The recovering table is built WITHOUT the original φ overrides to
+// prove counter budgets ride in the log, not in config.
+func TestTenantRecoveryKillAtArbitraryOffset(t *testing.T) {
+	for _, cutBack := range []int64{0, 1, 7, 64, 1000} {
+		t.Run(fmt.Sprintf("cut-%d", cutBack), func(t *testing.T) {
+			dir := t.TempDir()
+			popts := persist.Options{
+				Dir:    dir,
+				Algo:   "SSH",
+				Fsync:  persist.FsyncAlways,
+				Decode: func(b []byte) (core.Summary, error) { return counters.DecodeSpaceSavingHeap(b) },
+			}
+			tb := newTable(t, tenant.Options{
+				DefaultPhi:  0.01,
+				MaxResident: 2, // checkpoint and replay over mostly-evicted tenants
+				Phi:         map[string]float64{"eu": 0.1},
+			})
+			st, err := persist.Open(popts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Recover(tb); err != nil {
+				t.Fatal(err)
+			}
+			tb.PersistTo(st)
+
+			// Mixed traffic: three explicit namespaces, the default
+			// namespace through the legacy batch path, and a weighted
+			// scalar update.
+			var ops []op
+			nss := []string{"eu", "us", "ap", ""}
+			streams := make(map[string][]core.Item)
+			for i, ns := range nss {
+				streams[ns] = testStream(t, 4_000, uint64(0xBEEF+i))
+			}
+			sizes := []int{512, 3, 1024, 97}
+			offs := map[string]int{}
+			for round := 0; ; round++ {
+				progressed := false
+				for i, ns := range nss {
+					s := streams[ns]
+					if offs[ns] >= len(s) {
+						continue
+					}
+					progressed = true
+					n := sizes[(i+round)%len(sizes)]
+					if offs[ns]+n > len(s) {
+						n = len(s) - offs[ns]
+					}
+					ops = append(ops, op{ns: ns, items: s[offs[ns] : offs[ns]+n]})
+					offs[ns] += n
+				}
+				if !progressed {
+					break
+				}
+				if round == 2 {
+					ops = append(ops, op{weighted: true, x: 42, count: 7})
+				}
+			}
+			for i, o := range ops {
+				applyOp(t, tb, o)
+				if i == len(ops)/2 {
+					if _, err := st.Checkpoint(tb); err != nil {
+						t.Fatalf("checkpoint: %v", err)
+					}
+				}
+			}
+			if err := st.Err(); err != nil {
+				t.Fatal(err)
+			}
+			// Kill: no Close. Tear the live segment.
+			segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+			if err != nil || len(segs) == 0 {
+				t.Fatalf("no segments (%v)", err)
+			}
+			sort.Strings(segs)
+			last := segs[len(segs)-1]
+			if cutBack > 0 {
+				fi, err := os.Stat(last)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.Truncate(last, fi.Size()-cutBack); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			rec := newTable(t, tenant.Options{DefaultPhi: 0.01, MaxResident: 2}) // no overrides
+			st2, err := persist.Open(popts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats, err := st2.Recover(rec)
+			if err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			defer st2.Close()
+
+			// Rebuild the surviving prefix in a fresh, never-persisted
+			// table. Tears land on record boundaries, so RecoveredN must
+			// align with an op boundary.
+			shadow := newTable(t, tenant.Options{DefaultPhi: 0.01, MaxResident: 2, Phi: map[string]float64{"eu": 0.1}})
+			var n int64
+			for _, o := range ops {
+				if n == stats.RecoveredN {
+					break
+				}
+				n += applyOp(t, shadow, o)
+			}
+			if n != stats.RecoveredN {
+				t.Fatalf("recovered n=%d does not align with any op boundary (reached %d)", stats.RecoveredN, n)
+			}
+			if cutBack > 0 && stats.RecoveredN >= tb.N() && cutBack < 1000 {
+				// Small tears must cost at least the final record (the
+				// 1000-byte cut can land inside the checkpointed region
+				// only if the tail was short; RecoveredN still rules).
+				t.Fatalf("tear lost nothing: recovered %d of %d", stats.RecoveredN, tb.N())
+			}
+
+			wantBundle, err := shadow.EncodeBundle()
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotBundle, err := rec.EncodeBundle()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotBundle, wantBundle) {
+				t.Fatal("recovered tenants are not bit-identical to the surviving prefix")
+			}
+			if rec.N() != shadow.N() {
+				t.Fatalf("recovered table n=%d, shadow %d", rec.N(), shadow.N())
+			}
+			// Budgets rode the log: "eu" must have k=11 even though the
+			// recovering table had no φ override for it.
+			if info, ok := rec.TenantInfo("eu"); !ok || info.K != 11 {
+				t.Fatalf("namespace eu recovered with k=%d (info=%+v), want 11 from the log", info.K, info)
+			}
+		})
+	}
+}
+
+// TestLegacyDirectoryAdoption: a data directory written by the
+// single-tenant stack (SFCKPT01 checkpoint + untagged WAL records)
+// must recover into a multi-tenant table as its default namespace,
+// bit-identically.
+func TestLegacyDirectoryAdoption(t *testing.T) {
+	dir := t.TempDir()
+	popts := persist.Options{
+		Dir:    dir,
+		Algo:   "SSH",
+		Fsync:  persist.FsyncAlways,
+		Decode: func(b []byte) (core.Summary, error) { return counters.DecodeSpaceSavingHeap(b) },
+	}
+	orig := core.NewConcurrent(counters.NewSpaceSavingHeap(101))
+	st, err := persist.Open(popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Recover(orig); err != nil {
+		t.Fatal(err)
+	}
+	orig.PersistTo(st)
+	stream := testStream(t, 10_000, 0xFEED)
+	half := len(stream) / 2
+	orig.UpdateBatch(stream[:half])
+	if _, err := st.Checkpoint(orig); err != nil {
+		t.Fatal(err)
+	}
+	orig.UpdateBatch(stream[half:]) // tail replays through recUnit records
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill without Close; adopt into a tenant table.
+	tb := newTable(t, tenant.Options{DefaultPhi: 0.01})
+	st2, err := persist.Open(popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Recover(tb); err != nil {
+		t.Fatalf("adopting legacy directory: %v", err)
+	}
+	defer st2.Close()
+
+	wantSnap := orig.SnapshotBarrier(nil)[0]
+	want, err := core.EncodeSummary(wantSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := encodeNS(t, tb, ""); !bytes.Equal(got, want) {
+		t.Fatal("adopted default namespace differs from the single-tenant original")
+	}
+	if tb.N() != orig.LiveN() {
+		t.Fatalf("adopted n=%d, original %d", tb.N(), orig.LiveN())
+	}
+}
+
+// TestManyTenantsBounded is the scale wall: a million lazily-created
+// 64-counter tenants (100k under -short) must fit in bounded memory —
+// residency capped by CLOCK eviction, evicted tenants costing only
+// their compact blobs. The documented bound: ≤ 128 bytes/tenant of
+// table-accounted memory (slab arenas + blobs) at 2 items/tenant.
+func TestManyTenantsBounded(t *testing.T) {
+	total := 1_000_000
+	if testing.Short() {
+		total = 100_000
+	}
+	const maxResident = 1024
+	// φ = 1/63 → k = 64.
+	tb := newTable(t, tenant.Options{DefaultPhi: 1.0 / 63, MaxResident: maxResident})
+	items := []core.Item{7, 7}
+	var ns [24]byte
+	for i := 0; i < total; i++ {
+		n := copy(ns[:], "t-")
+		n += copy(ns[n:], fmt.Sprintf("%07d", i))
+		if _, _, err := tb.IngestBatch(string(ns[:n]), items); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tb.TableStats()
+	if st.Tenants != total {
+		t.Fatalf("created %d tenants, want %d", st.Tenants, total)
+	}
+	if info, ok := tb.TenantInfo("t-0000000"); !ok || info.K != 64 {
+		t.Fatalf("tenant budget = %+v, want k=64", info)
+	}
+	if st.Resident > maxResident {
+		t.Fatalf("%d resident tenants, cap %d", st.Resident, maxResident)
+	}
+	if st.Slab.LiveBlocks > maxResident {
+		t.Fatalf("%d live slab blocks, cap %d", st.Slab.LiveBlocks, maxResident)
+	}
+	perTenant := float64(tb.Bytes()) / float64(total)
+	if perTenant > 128 {
+		t.Fatalf("%.1f bytes/tenant, documented bound is 128", perTenant)
+	}
+	if tb.N() != int64(2*total) {
+		t.Fatalf("table n=%d, want %d", tb.N(), 2*total)
+	}
+}
+
+// TestPerTenantPhi: overrides set the budget at instantiation; later
+// SetPhi calls move only the query threshold.
+func TestPerTenantPhi(t *testing.T) {
+	tb := newTable(t, tenant.Options{DefaultPhi: 0.01, Phi: map[string]float64{"coarse": 0.5}})
+	for _, ns := range []string{"coarse", "fine"} {
+		if _, _, err := tb.IngestBatch(ns, []core.Item{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if info, _ := tb.TenantInfo("coarse"); info.K != 3 || info.Phi != 0.5 {
+		t.Fatalf("coarse = %+v, want k=3 φ=0.5", info)
+	}
+	if info, _ := tb.TenantInfo("fine"); info.K != 101 || info.Phi != 0.01 {
+		t.Fatalf("fine = %+v, want k=101 φ=0.01", info)
+	}
+	if err := tb.SetPhi("coarse", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := tb.TenantInfo("coarse"); info.K != 3 || info.Phi != 0.25 {
+		t.Fatalf("after SetPhi coarse = %+v, want k=3 (unchanged) φ=0.25", info)
+	}
+	if err := tb.SetPhi("late", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tb.IngestBatch("late", []core.Item{1}); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := tb.TenantInfo("late"); info.K != 3 {
+		t.Fatalf("late = %+v, want k=3 from pre-instantiation override", info)
+	}
+	if err := tb.SetPhi("x", 1.5); err == nil {
+		t.Fatal("φ=1.5 must be rejected")
+	}
+}
+
+// TestBundleRoundTrip: the cluster-pull frame decodes back to exactly
+// the table's namespaces, resident or not.
+func TestBundleRoundTrip(t *testing.T) {
+	tb := newTable(t, tenant.Options{DefaultPhi: 0.1, MaxResident: 1})
+	want := map[string][]core.Item{
+		"a": {1, 1, 2},
+		"b": {3},
+		"c": {4, 4, 4, 4},
+	}
+	for ns, items := range want {
+		if _, _, err := tb.IngestBatch(ns, items); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bundle, err := tb.EncodeBundle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := tenant.DecodeBundle(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(want) {
+		t.Fatalf("bundle holds %d namespaces, want %d", len(entries), len(want))
+	}
+	for _, e := range entries {
+		sum, err := counters.DecodeSpaceSavingHeap(e.Blob)
+		if err != nil {
+			t.Fatalf("namespace %q: %v", e.NS, err)
+		}
+		if sum.N() != int64(len(want[e.NS])) {
+			t.Fatalf("namespace %q decoded n=%d, want %d", e.NS, sum.N(), len(want[e.NS]))
+		}
+	}
+	if _, err := tenant.DecodeBundle(bundle[:len(bundle)-1]); err == nil {
+		t.Fatal("truncated bundle must not decode")
+	}
+}
