@@ -15,6 +15,9 @@
 //	freqd -algo SSH -phi 0.001 -data-dir /var/lib/freqd -fsync interval -checkpoint-every 1m
 //	freqd -window 1000000 -window-blocks 10 -phi 0.001    # heavy hitters over the last 1M items
 //	freqd -tenants -phi 0.01 -tenant-phi eu=0.001 -tenant-max-resident 4096   # namespaced summaries under /v1/t/{ns}/...
+//	freqd -algo cmh -phi 0.001                  # dyadic hierarchy: /v1/hhh, /v1/range, /v1/quantile
+//	freqd -algo gk -phi 0.01                    # value quantiles: /v1/quantile, /v1/range
+//	freqd -algo cmh -horizons 1m,1h,24h         # wall-clock resolutions: /v1/topk?horizon=1h (memory-only)
 //
 // With -window W the daemon serves *sliding-window* heavy hitters: /topk
 // and /estimate answer over (roughly) the last W items instead of the
@@ -64,6 +67,7 @@ import (
 	"streamfreq/internal/persist"
 	"streamfreq/internal/serve"
 	"streamfreq/internal/tenant"
+	"streamfreq/internal/window"
 )
 
 // phiOverrides collects repeated -tenant-phi ns=phi flags into the
@@ -107,6 +111,9 @@ func main() {
 		windowLen = flag.Int("window", 0, "serve heavy hitters over the last W items instead of the whole stream (0 = whole-stream)")
 		windowB   = flag.Int("window-blocks", 8, "block count of the sliding window (W must be a multiple of it)")
 
+		horizons = flag.String("horizons", "", "comma-separated wall-clock horizons (e.g. 1m,1h,24h) served via ?horizon= on queries; memory-only (empty = off)")
+		horizonB = flag.Int("horizon-blocks", 8, "bucket-ring length per horizon (finer alignment, more merge work per query)")
+
 		dataDir    = flag.String("data-dir", "", "persistence directory (empty = in-memory only)")
 		fsyncMode  = flag.String("fsync", "interval", "WAL durability: always | interval | never")
 		fsyncEvery = flag.Duration("fsync-interval", 100*time.Millisecond, "group-commit window for -fsync interval")
@@ -128,8 +135,12 @@ func main() {
 			fatal(err)
 		}
 	}
+	spans, err := parseHorizons(*horizons)
+	if err != nil {
+		fatal(err)
+	}
 	target, store, label, err := buildTarget(*algo, *phi, *seed, *shards, *pipeline, *staleness,
-		*windowLen, *windowB, *dataDir, *fsyncMode, *fsyncEvery, table)
+		*windowLen, *windowB, spans, *horizonB, *dataDir, *fsyncMode, *fsyncEvery, table)
 	if err != nil {
 		fatal(err)
 	}
@@ -171,6 +182,9 @@ func main() {
 	}
 	if *windowLen > 0 {
 		fmt.Printf(", window=%d/%d blocks", *windowLen, *windowB)
+	}
+	if len(spans) > 0 {
+		fmt.Printf(", horizons=%s/%d blocks", *horizons, *horizonB)
 	}
 	if store != nil {
 		fmt.Printf(", data-dir=%s, fsync=%s", *dataDir, *fsyncMode)
@@ -252,18 +266,87 @@ func buildTenantTable(algo string, phi float64, seed uint64, shards int, pipelin
 	})
 }
 
+// parseHorizons splits the -horizons flag into wall-clock spans.
+func parseHorizons(s string) ([]time.Duration, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []time.Duration
+	for _, part := range strings.Split(s, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("-horizons: %v", err)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// newSummary constructs the serving summary for an -algo code: the
+// registry roster, plus GK — a wire citizen without a roster entry
+// (quantile summaries answer /v1/quantile and /v1/range, not /topk
+// recall guarantees, so the frequency-semantics roster excludes it; φ
+// provisions ε the way NewQuantileForPhi defines).
+func newSummary(algo string, phi float64, seed uint64) (core.Summary, error) {
+	if strings.EqualFold(algo, "GK") {
+		return streamfreq.NewQuantileForPhi(phi)
+	}
+	return streamfreq.New(algo, phi, seed)
+}
+
+func mustSummary(algo string, phi float64, seed uint64) core.Summary {
+	s, err := newSummary(algo, phi, seed)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 func buildTarget(algo string, phi float64, seed uint64, shards int, pipeline bool, staleness time.Duration,
-	windowLen, windowBlocks int, dataDir, fsyncMode string, fsyncEvery time.Duration, table *tenant.Table) (serve.Target, *persist.Store, string, error) {
-	if _, err := streamfreq.New(algo, phi, seed); err != nil {
-		return nil, nil, "", err // validate algo/phi before wrapping
+	windowLen, windowBlocks int, horizons []time.Duration, horizonBlocks int,
+	dataDir, fsyncMode string, fsyncEvery time.Duration, table *tenant.Table) (serve.Target, *persist.Store, string, error) {
+	probe, err := newSummary(algo, phi, seed) // validate algo/phi before wrapping
+	if err != nil {
+		return nil, nil, "", err
 	}
 	if shards <= 0 || shards&(shards-1) != 0 {
 		return nil, nil, "", fmt.Errorf("-shards must be a positive power of two, got %d", shards)
 	}
 
-	label := algo
+	// The summary's Name is the canonical algorithm code (the registry
+	// convention), so -algo ssh and -algo SSH label checkpoints the same.
+	label := probe.Name()
 	var durable persist.Target
 	switch {
+	case len(horizons) > 0:
+		// Wall-clock multi-resolution serving: a bucket ring per horizon.
+		// The rings have no wire format, so the mode is memory-only and
+		// excludes the single-summary serving arrangements.
+		if dataDir != "" {
+			return nil, nil, "", fmt.Errorf("-horizons is memory-only (bucket rings have no wire format); drop -data-dir")
+		}
+		if windowLen > 0 {
+			return nil, nil, "", fmt.Errorf("-horizons and -window are different recency models; pick one")
+		}
+		if table != nil {
+			return nil, nil, "", fmt.Errorf("-horizons and -tenants are incompatible; pick one serving arrangement")
+		}
+		if pipeline {
+			return nil, nil, "", fmt.Errorf("-horizons is one composition with internal rings; drop -pipeline")
+		}
+		if shards != 1 {
+			return nil, nil, "", fmt.Errorf("-horizons is single-shard; drop -shards %d", shards)
+		}
+		m, err := window.NewMultiRes(window.MultiResConfig{
+			Horizons: horizons,
+			Blocks:   horizonBlocks,
+			Factory:  func() core.Summary { return mustSummary(algo, phi, seed) },
+		})
+		if err != nil {
+			return nil, nil, "", err
+		}
+		label = m.Name() // "MR-" + bucket algo
+		durable = core.NewConcurrent(m)
 	case table != nil:
 		// Multi-tenant: the table is its own concurrency wrapper (one
 		// lock over tiny critical sections) and its own durable target
@@ -292,14 +375,14 @@ func buildTarget(algo string, phi float64, seed uint64, shards int, pipeline boo
 		durable = core.NewConcurrent(win)
 	case pipeline:
 		durable = core.NewPipelined(shards, func() core.Summary {
-			return streamfreq.MustNew(algo, phi, seed)
+			return mustSummary(algo, phi, seed)
 		})
 	case shards > 1:
 		durable = core.NewSharded(shards, func() core.Summary {
-			return streamfreq.MustNew(algo, phi, seed)
+			return mustSummary(algo, phi, seed)
 		})
 	default:
-		durable = core.NewConcurrent(streamfreq.MustNew(algo, phi, seed))
+		durable = core.NewConcurrent(mustSummary(algo, phi, seed))
 	}
 
 	var store *persist.Store

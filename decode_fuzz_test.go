@@ -37,7 +37,7 @@ func TestDecodeRandomBytesWithValidMagics(t *testing.T) {
 	// Random payloads behind each valid magic: exercises every decoder's
 	// header validation, not just the magic dispatch.
 	rng := prng.New(0xFADE)
-	magics := []string{"CM01", "CS01", "CG01", "HI01", "FQ01", "SS01", "SL01", "LC01", "TK01", "WN01"}
+	magics := []string{"CM01", "CS01", "CG01", "HI01", "FQ01", "SS01", "SL01", "LC01", "TK01", "WN01", "GK01"}
 	for _, magic := range magics {
 		for trial := 0; trial < 300; trial++ {
 			size := int(rng.Uint64n(256))
@@ -64,6 +64,7 @@ func TestDecodeBitFlippedBlobs(t *testing.T) {
 		NewCGT(2, 8, 16, 3),
 		NewTracked(NewCountMin(2, 16, 3), 8),
 		mustWindowedSummary(8, 2, 3),
+		NewQuantile(0.1),
 	}
 	for _, s := range sources {
 		s.Update(1, 5)
@@ -113,6 +114,7 @@ func FuzzDecode(f *testing.F) {
 		NewCGT(2, 8, 16, 3),
 		NewTracked(NewCountMin(2, 16, 3), 8),
 		mustWindowedSummary(8, 2, 3),
+		NewQuantile(0.1),
 	}
 	for _, s := range seedSources {
 		s.Update(1, 5)
@@ -195,6 +197,9 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 			// through every fuzz stream, so the snapshotted ring exercises
 			// head positions, partial fills, and fully-wrapped rings.
 			func() Summary { return mustWindowedSummary(24, 4, 5) },
+			// The quantile summary (GK01): a coarse ε keeps the tuple list
+			// compressing through every fuzz stream.
+			func() Summary { return NewQuantile(0.2) },
 		}
 		for _, mk := range builders {
 			parent := mk()

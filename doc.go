@@ -42,9 +42,10 @@
 // most once per staleness window — readers never take the ingest lock,
 // so query traffic does not slow the batched ingest hot path. The freqd
 // command (cmd/freqd) exposes the combination over HTTP: continuous
-// binary or text ingest on POST /ingest, heavy-hitter reports on
-// GET /topk, point estimates on GET /estimate, and snapshot freshness on
-// GET /stats.
+// binary or text ingest on POST /v1/ingest, heavy-hitter reports on
+// GET /v1/topk, point estimates on GET /v1/estimate, and snapshot
+// freshness on GET /v1/stats (pre-versioning paths remain as aliases;
+// errors are a uniform JSON envelope).
 //
 // # Lock-free ingest plane
 //
@@ -92,6 +93,30 @@
 // Estimates are one-sided, overestimating by at most the advertised
 // Slack (εW of per-block error plus one boundary block of expired
 // items).
+//
+// # Rich queries and wall-clock horizons
+//
+// Beyond point estimates and top-k, the serving surface answers three
+// richer questions, capability-dispatched by the algorithm behind the
+// view: GET /v1/hhh reports hierarchical heavy hitters — every heavy
+// prefix at every granularity of the item space, with the residual
+// discount of Cormode et al. separating prefixes heavy in aggregate
+// from prefixes heavy only through one elephant child (the dyadic
+// hierarchies, -algo cmh or csh) — GET /v1/range estimates the
+// arrivals in a value interval (hierarchies via a dyadic cover, GK via
+// a rank difference), and GET /v1/quantile returns the value at rank
+// q·N (the Greenwald–Khanna summary, -algo gk, natively at ε = φ/2;
+// the hierarchies via prefix sums). The routes are always registered;
+// a summary without the capability answers 404 naming the -algo
+// choices that have it. All three ride the registry contract —
+// snapshots, merging, and the HI01/GK01 wire formats — so a freqmerge
+// coordinator answers the same queries over the cluster's union
+// stream, and a WAL-recovered node serves them bit-identically.
+// Orthogonally, freqd -horizons 1m,1h,24h keeps an
+// exponential-histogram bucket ring per wall-clock horizon, and
+// ?horizon= on topk/hhh/range/quantile answers over roughly that much
+// recent past (memory-only; thresholds scale against the horizon's
+// own stream length).
 //
 // # Distributed merge
 //

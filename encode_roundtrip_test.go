@@ -95,6 +95,19 @@ func TestEncodeDeterministicRegistry(t *testing.T) {
 			t.Fatal("SSW: identically-fed windowed summaries marshal to different bytes")
 		}
 	})
+	// The GK quantile summary is also a wire citizen outside the roster
+	// (provisioned by ε, frequency semantics don't apply).
+	t.Run("GK", func(t *testing.T) {
+		a := NewQuantile(0.01)
+		b := NewQuantile(0.01)
+		for _, batch := range batches {
+			UpdateAll(a, batch)
+			UpdateAll(b, batch)
+		}
+		if !bytes.Equal(marshal(t, "GK", a), marshal(t, "GK", b)) {
+			t.Fatal("GK: identically-fed quantile summaries marshal to different bytes")
+		}
+	})
 }
 
 // TestEncodeRoundTripNewFormats: the SL01, TK01, and WN01 formats
@@ -113,6 +126,10 @@ func TestEncodeRoundTripNewFormats(t *testing.T) {
 		{"Tracked-CM", func() Summary { return NewTracked(NewCountMin(4, 512, 7), 128) }},
 		{"Tracked-CS", func() Summary { return NewTracked(NewCountSketch(5, 512, 7), 128) }},
 		{"Windowed", func() Summary { return mustWindowedSummary(8192, 8, 201) }},
+		// GK01: the decode-then-continue leg is the recovery contract —
+		// sinceCompress rides the wire so the restored compression
+		// schedule stays in phase with uninterrupted ingest.
+		{"GK", func() Summary { return NewQuantile(0.015) }},
 	}
 	batches := roundTripStream(t)
 	half := len(batches) / 2

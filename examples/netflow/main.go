@@ -1,10 +1,30 @@
-// Netflow: detect elephant flows in router traffic, the networking
-// motivation of the paper's introduction.
+// Netflow: hierarchical heavy hitters over IP prefixes — the paper's
+// headline networking scenario, self-validating end to end.
 //
-// Two simulated routers each summarize their own packet stream with a
-// Count-Min hierarchy. The network operations center merges both
-// summaries and queries for flows exceeding 0.1% of total traffic —
-// without ever seeing a raw packet.
+// Two simulated border routers each sketch their own packet stream
+// with a Count-Min hierarchy over the 32-bit IPv4 source space (byte
+// levels: /32, /24, /16, /8). The network operations center merges
+// both summaries and asks one question at every granularity at once:
+// which prefixes carry more than φ of total traffic, and which of
+// those are heavy *beyond* their already-reported children (the HHH
+// discount rule of Cormode et al.)?
+//
+// The planted traffic makes the distinction visible:
+//
+//   - three elephant flows: single source IPs heavy on their own, so
+//     their /24 and /16 parents appear in the report but carry no
+//     residual weight of their own (HHH=false — "heavy because one
+//     child is heavy");
+//   - a botnet /24: two hundred distinct sources, each far below the
+//     threshold individually, whose aggregate is unmissable — no /32
+//     crosses the threshold, the prefix does (HHH=true at /24);
+//   - uniform background noise that no prefix below /8 accumulates.
+//
+// The example validates itself against an omniscient per-level exact
+// count and exits nonzero if the merged report misses a single true
+// heavy prefix (Count-Min never underestimates, so recall must be
+// perfect), under-reports any count, or mislabels the planted
+// patterns. CI runs it as part of the distributed-e2e job.
 //
 //	go run ./examples/netflow
 package main
@@ -14,19 +34,59 @@ import (
 	"log"
 
 	"streamfreq"
-	"streamfreq/internal/exact"
-	"streamfreq/internal/trace"
+	"streamfreq/internal/prng"
 )
 
-func main() {
-	const (
-		packetsPerRouter = 500_000
-		phi              = 0.001
-	)
+const (
+	packetsPerRouter = 400_000
+	phi              = 0.001 // a heavy prefix carries ≥ 0.1% of traffic
+	botnetHosts      = 200
+)
 
-	// The two routers must use the same sketch parameters (including
-	// seed) for their summaries to be mergeable.
-	cfg := streamfreq.HierarchyConfig{Depth: 4, Width: 2048, Bits: 8, Seed: 7}
+// ip assembles a dotted quad into the uint32 the hierarchy sketches.
+func ip(a, b, c, d uint64) streamfreq.Item {
+	return streamfreq.Item(a<<24 | b<<16 | c<<8 | d)
+}
+
+// cidr renders a level-j prefix (the IP's top bits, shifted) as CIDR.
+func cidr(prefix uint64, level int) string {
+	v := uint32(prefix << (8 * level))
+	return fmt.Sprintf("%d.%d.%d.%d/%d", v>>24, v>>16&0xff, v>>8&0xff, v&0xff, 32-8*level)
+}
+
+var (
+	elephants = []streamfreq.Item{ // single flows above φ on their own
+		ip(203, 0, 113, 77),
+		ip(192, 0, 2, 10),
+		ip(198, 18, 5, 5),
+	}
+	botnet = ip(198, 51, 100, 0) >> 8 // the /24 whose hosts are each light
+)
+
+// packets synthesizes one router's traffic mix: 2% per elephant, 3%
+// spread across the botnet /24, the rest uniform background noise no
+// fine prefix accumulates.
+func packets(seed uint64) []streamfreq.Item {
+	rng := prng.New(seed)
+	out := make([]streamfreq.Item, packetsPerRouter)
+	for i := range out {
+		switch roll := rng.Uint64n(100); {
+		case roll < 6:
+			out[i] = elephants[roll%3]
+		case roll < 9:
+			out[i] = streamfreq.Item(uint64(botnet)<<8 | rng.Uint64n(botnetHosts))
+		default:
+			out[i] = streamfreq.Item((24+rng.Uint64n(4))<<24 | rng.Uint64n(1<<24))
+		}
+	}
+	return out
+}
+
+func main() {
+	// Identical geometry (and seed) on both routers is what makes the
+	// summaries mergeable. UniverseBits 32 with Bits 8 gives the four
+	// byte-boundary levels of IPv4.
+	cfg := streamfreq.HierarchyConfig{Depth: 4, Width: 4096, Bits: 8, UniverseBits: 32, Seed: 7}
 	routerA, err := streamfreq.NewCountMinHierarchy(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -35,59 +95,98 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	truth := exact.New() // omniscient observer, for validation only
 
-	// Each router sees an independent heavy-tailed flow mix. Fewer
-	// concurrent flows with a heavier tail than the defaults, so real
-	// elephants (>0.1% of traffic) exist in a half-million-packet window.
-	for i, seed := range []uint64{101, 202} {
-		ucfg := trace.DefaultUDPConfig(seed)
-		ucfg.ActiveFlows = 256
-		ucfg.Alpha = 1.1
-		gen, err := trace.NewUDP(ucfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		sketch := routerA
-		if i == 1 {
-			sketch = routerB
-		}
-		for p := 0; p < packetsPerRouter; p++ {
-			flow := gen.Next()
-			sketch.Update(flow, 1)
-			truth.Update(flow, 1)
-		}
+	// Each router sees its own stream; the exact per-level truth over
+	// the union exists only for validation — the NOC never holds it.
+	streams := [][]streamfreq.Item{packets(101), packets(202)}
+	for _, p := range streams[0] {
+		routerA.Update(p, 1)
+	}
+	for _, p := range streams[1] {
+		routerB.Update(p, 1)
 	}
 
-	// NOC: merge router B's summary into router A's.
+	// NOC: merge router B's summary into router A's and query the
+	// hierarchy at every level in one call.
 	if err := routerA.Merge(routerB); err != nil {
 		log.Fatal(err)
 	}
-
 	total := routerA.N()
 	threshold := int64(phi * float64(total))
-	elephants := routerA.Query(threshold)
+	report := routerA.HeavyPrefixes(threshold)
 
-	fmt.Printf("total packets: %d across 2 routers; elephant threshold: %d packets\n",
-		total, threshold)
+	fmt.Printf("total packets: %d across 2 routers; heavy threshold: %d packets (φ=%g)\n",
+		total, threshold, phi)
 	fmt.Printf("merged sketch: %d bytes\n\n", routerA.Bytes())
-	fmt.Println("flow                estimate  exact     error")
-	for _, f := range elephants {
-		ex := truth.Estimate(f.Item)
-		fmt.Printf("%#-18x  %8d  %8d  %+d\n", uint64(f.Item), f.Count, ex, f.Count-ex)
+	fmt.Println("prefix               level  estimate  residual  hhh")
+	for _, pc := range report {
+		mark := ""
+		if pc.HHH {
+			mark = "  <- heavy beyond its children"
+		}
+		fmt.Printf("%-20s  /%d  %8d  %8d  %-5v%s\n",
+			cidr(uint64(pc.Prefix), pc.Level), 32-8*pc.Level, pc.Count, pc.Residual, pc.HHH, mark)
 	}
 
-	// Sanity: nothing above threshold may be missing (Count-Min never
-	// underestimates, so the hierarchy cannot miss).
-	reported := make(map[streamfreq.Item]bool, len(elephants))
-	for _, f := range elephants {
-		reported[f.Item] = true
-	}
-	missed := 0
-	for _, tc := range truth.Query(threshold) {
-		if !reported[tc.Item] {
-			missed++
+	// ── Validation ──────────────────────────────────────────────────
+	// Exact truth per level over the union stream.
+	truth := make([]map[uint64]int64, 4)
+	for level := range truth {
+		truth[level] = make(map[uint64]int64)
+		for _, s := range streams {
+			for _, p := range s {
+				truth[level][uint64(p)>>(8*level)]++
+			}
 		}
 	}
-	fmt.Printf("\nrecall check: %d true elephants missed (must be 0)\n", missed)
+	reported := make(map[int]map[uint64]int64)
+	flagged := make(map[int]map[uint64]bool)
+	for _, pc := range report {
+		if reported[pc.Level] == nil {
+			reported[pc.Level] = make(map[uint64]int64)
+			flagged[pc.Level] = make(map[uint64]bool)
+		}
+		reported[pc.Level][uint64(pc.Prefix)] = pc.Count
+		flagged[pc.Level][uint64(pc.Prefix)] = pc.HHH
+	}
+
+	// Recall 1 at every level: Count-Min overestimates only, so a true
+	// heavy prefix cannot dodge the frontier walk.
+	missed := 0
+	for level := range truth {
+		for prefix, exact := range truth[level] {
+			if exact < threshold {
+				continue
+			}
+			got, ok := reported[level][prefix]
+			if !ok {
+				log.Printf("MISSED %s: true count %d ≥ %d not reported", cidr(prefix, level), exact, threshold)
+				missed++
+				continue
+			}
+			if got < exact {
+				log.Fatalf("%s: estimate %d underestimates true %d", cidr(prefix, level), got, exact)
+			}
+		}
+	}
+	if missed > 0 {
+		log.Fatalf("recall check failed: %d true heavy prefixes missed", missed)
+	}
+
+	// The planted patterns carry the story: every elephant is heavy at
+	// /32, and the botnet /24 is an HHH with no reported member flow.
+	for _, e := range elephants {
+		if _, ok := reported[0][uint64(e)]; !ok {
+			log.Fatalf("elephant %s missing from the /32 level", cidr(uint64(e), 0))
+		}
+	}
+	if !flagged[1][uint64(botnet)] {
+		log.Fatalf("botnet %s not flagged HHH — its weight is unexplained by children and must be", cidr(uint64(botnet), 1))
+	}
+	for prefix := range reported[0] {
+		if prefix>>8 == uint64(botnet) {
+			log.Fatalf("botnet host %s reported at /32 — each host was planted far below threshold", cidr(prefix, 0))
+		}
+	}
+	fmt.Printf("\nvalidation: recall 1 at all 4 levels, no underestimates, botnet /24 flagged HHH with no member /32 reported\n")
 }

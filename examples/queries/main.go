@@ -1,27 +1,48 @@
-// Queries: find the search queries whose popularity changed most between
-// two time windows — the max-change problem of Charikar, Chen &
-// Farach-Colton §4.2, and the "Google Zeitgeist" motivation of the
-// original Count-Sketch paper.
+// Queries: two demos of the summaries answering more than point top-k.
 //
-// Window 1 and window 2 are sketched independently with identical
-// Count-Sketch parameters. Subtracting the sketches yields a sketch of
-// the frequency *difference* vector; the largest |estimates| are the
-// trending (or collapsing) queries.
+// Part 1 finds the search queries whose popularity changed most
+// between two time windows — the max-change problem of Charikar, Chen
+// & Farach-Colton §4.2, and the "Google Zeitgeist" motivation of the
+// original Count-Sketch paper. Window 1 and window 2 are sketched
+// independently with identical Count-Sketch parameters; subtracting
+// the sketches yields a sketch of the frequency *difference* vector,
+// and the largest |estimates| are the trending (or collapsing)
+// queries.
+//
+// Part 2 serves range and quantile queries over loopback HTTP: a GK
+// quantile summary behind the real freqd serving stack answers
+// GET /v1/quantile?q= and GET /v1/range?lo=&hi= on a latency-shaped
+// stream, and both answers are validated against exact order
+// statistics — the example exits nonzero if either leaves the ε·N
+// guarantee.
 //
 //	go run ./examples/queries
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/httptest"
 	"sort"
 
 	"streamfreq"
+	"streamfreq/internal/core"
+	"streamfreq/internal/prng"
+	"streamfreq/internal/serve"
 	"streamfreq/internal/sketches"
+	"streamfreq/internal/stream"
 	"streamfreq/internal/trace"
 )
 
 func main() {
+	maxChangeDemo()
+	rangeQuantileDemo()
+}
+
+func maxChangeDemo() {
 	const (
 		window = 400_000
 		topK   = 8
@@ -98,6 +119,99 @@ func main() {
 			marker = "   <- planted surge"
 		}
 		fmt.Printf("%#-18x  %+10d   %s%s\n", uint64(c.item), c.delta, dir, marker)
+	}
+}
+
+// rangeQuantileDemo is part 2: the same serving stack cmd/freqd wraps,
+// on a loopback listener, with a GK quantile summary behind it —
+// `freqd -algo gk` in miniature. Latency-shaped samples go in through
+// POST /v1/ingest; /v1/quantile and /v1/range answers come out and are
+// checked against exact order statistics.
+func rangeQuantileDemo() {
+	const (
+		samples = 200_000
+		phi     = 0.01 // ε = φ/2: ranks are exact to within 1% of N
+	)
+	gk, err := streamfreq.NewQuantileForPhi(phi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := core.NewConcurrent(gk).ServeSnapshots(0)
+	srv := serve.NewServer(serve.Options{Target: target, Algo: "GK"})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A right-skewed latency distribution (microseconds): most requests
+	// fast, a long tail — the shape quantiles exist for.
+	rng := prng.New(0x1A7E)
+	values := make([]streamfreq.Item, samples)
+	for i := range values {
+		v := 500 + rng.Uint64n(2_000) // the fast common case
+		if rng.Uint64n(100) < 5 {     // 5% slow tail
+			v = 10_000 + rng.Uint64n(190_000)
+		}
+		values[i] = streamfreq.Item(v)
+	}
+	resp, err := http.Post(ts.URL+"/v1/ingest", "application/octet-stream",
+		bytes.NewReader(stream.AppendRaw(nil, values)))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		log.Fatalf("ingest: %v (%v)", err, resp.Status)
+	}
+	resp.Body.Close()
+
+	// Exact order statistics for validation.
+	sorted := make([]uint64, len(values))
+	for i, v := range values {
+		sorted[i] = uint64(v)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := func(v uint64) int64 { // #samples ≤ v
+		return int64(sort.Search(len(sorted), func(i int) bool { return sorted[i] > v }))
+	}
+	slack := int64(phi * samples) // 2·εN, the served guarantee
+
+	fmt.Printf("\n\nlatency quantiles over HTTP (%d samples, GK ε=%g):\n\n", samples, phi/2)
+	fmt.Println("q      value (µs)   exact rank   target rank")
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		var qr struct {
+			Value uint64 `json:"value"`
+			N     int64  `json:"n"`
+		}
+		getInto(ts.URL+fmt.Sprintf("/v1/quantile?q=%g", q), &qr)
+		targetRank := int64(q * samples)
+		fmt.Printf("%-5g  %10d   %10d   %10d\n", q, qr.Value, rank(qr.Value), targetRank)
+		if d := rank(qr.Value) - targetRank; d > slack || d < -slack {
+			log.Fatalf("q=%g: served value %d sits at rank %d, > %d off target %d",
+				q, qr.Value, rank(qr.Value), slack, targetRank)
+		}
+	}
+
+	// Range count: how many requests took 10ms or longer? (The planted
+	// tail is 5% of traffic.)
+	var rr struct {
+		Estimate int64 `json:"estimate"`
+	}
+	getInto(ts.URL+"/v1/range?lo=10000&hi=200000", &rr)
+	exact := rank(200_000) - rank(9_999)
+	fmt.Printf("\nrequests in [10ms, 200ms]: served %d, exact %d (ε·N = %d)\n", rr.Estimate, exact, slack)
+	if d := rr.Estimate - exact; d > 2*slack || d < -2*slack {
+		log.Fatalf("range estimate %d vs exact %d: outside 2·slack %d", rr.Estimate, exact, 2*slack)
+	}
+	fmt.Println("validation: quantile and range answers within the ε·N rank guarantee")
+}
+
+// getInto fetches a JSON endpoint or dies.
+func getInto(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatalf("GET %s: %v", url, err)
 	}
 }
 

@@ -213,8 +213,23 @@ func NewWindowedForPhi(phi float64, size, blocks int) (*window.Windowed, error) 
 }
 
 // NewQuantile returns a Greenwald–Khanna ε-approximate quantile summary,
-// the companion summary class of the frequent-items toolbox.
+// the companion summary class of the frequent-items toolbox. Since PR 9
+// GK implements the full summary contract (Summary, BatchUpdater,
+// Snapshotter, Merger, GK01 wire format), so it serves, checkpoints,
+// recovers, and merges like every roster algorithm; see
+// internal/quantile.
 func NewQuantile(epsilon float64) *quantile.GK { return quantile.New(epsilon) }
+
+// NewQuantileForPhi provisions a GK summary with ε = φ/2, the same
+// equal-guarantee sizing the registry applies to the sketches (width 2/φ
+// gives ε = φ/2), so `freqd -algo gk` at a given -phi is comparable to
+// the sketch configurations at that φ. Equal-φ summaries are mergeable.
+func NewQuantileForPhi(phi float64) (*quantile.GK, error) {
+	if phi <= 0 || phi >= 1 {
+		return nil, fmt.Errorf("streamfreq: phi must be in (0,1), got %g", phi)
+	}
+	return quantile.New(phi / 2), nil
+}
 
 // HashString maps a string key (search query, URL, flow tuple) to an
 // Item; HashBytes is the []byte equivalent.

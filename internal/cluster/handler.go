@@ -26,11 +26,23 @@ import (
 // Handler returns the coordinator's HTTP API mux — the same /v1
 // surface (with legacy aliases) a node serves, so clients cannot tell
 // a freqmerge from a freqd.
-func (c *Coordinator) Handler() http.Handler {
+func (c *Coordinator) Handler() http.Handler { return c.API().Handler() }
+
+// API returns the coordinator's assembled route set — exposed so the
+// docs test can diff the README API-reference table against the live
+// mux, exactly as it does for a node.
+func (c *Coordinator) API() *serve.API {
 	q := &serve.QueryHandlers{View: c.ServingView, Meter: c.meter}
 	api := serve.NewAPI()
 	api.Route("GET", "/topk", q.TopK, "/topk")
 	api.Route("GET", "/estimate", q.Estimate, "/estimate")
+	// The rich query surface dispatches on the merged summary's
+	// capabilities: a cluster of CMH nodes answers /v1/hhh here because
+	// the merged view is itself a Hierarchical, a GK cluster answers
+	// /v1/quantile, and anything else gets the 404 envelope.
+	api.Route("GET", "/hhh", q.HHH)
+	api.Route("GET", "/range", q.Range)
+	api.Route("GET", "/quantile", q.Quantile)
 	api.Route("GET", "/summary", c.handleSummary, "/summary")
 	api.Route("GET", "/stats", c.handleStats, "/stats")
 	api.Route("POST", "/refresh", c.handleRefresh, "/refresh")
@@ -40,7 +52,7 @@ func (c *Coordinator) Handler() http.Handler {
 		api.Route("GET", "/t/{ns}/estimate", c.handleTenantEstimate)
 		api.Route("GET", "/tenants", c.handleTenants)
 	}
-	return api.Handler()
+	return api
 }
 
 // handleSummary re-exports the merged state in the node wire format, so

@@ -1,0 +1,343 @@
+package cluster_test
+
+// The PR-9 acceptance scenario end to end, on loopback HTTP: the rich
+// query routes (/v1/hhh, /v1/range, /v1/quantile) served by freqmerge
+// over two durable freqd nodes holding disjoint partitions of one
+// stream, with a node killed (store abandoned, no Close) and recovered
+// mid-run. Two pins per algorithm family:
+//
+//   - recovery bit-identity at the wire: the /v1/summary blob a node
+//     ships right before the kill equals the blob its recovered life
+//     ships, byte for byte — the crash wall's Encode contract observed
+//     through the public API, for the new HI01 and GK01 formats;
+//   - cross-node answer quality: the coordinator's /v1/hhh has recall 1
+//     at φ·N_total against internal/exact per-level prefix truth over
+//     the union stream (Count-Min hierarchies never underestimate), and
+//     its /v1/quantile lands within the merged GK rank guarantee of the
+//     exact union quantile.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+
+	"streamfreq"
+	"streamfreq/internal/cluster"
+	"streamfreq/internal/core"
+	"streamfreq/internal/persist"
+	"streamfreq/internal/serve"
+	"streamfreq/internal/zipf"
+)
+
+// durableAlgoNode is durableNode generalized over the summary factory:
+// one freqd life (recover, wire the WAL, serve always-fresh snapshots)
+// for any wire-format citizen, roster or not.
+func durableAlgoNode(t *testing.T, dir, algo string, mk func() core.Summary, epoch uint64) *serve.Server {
+	t.Helper()
+	target := core.NewConcurrent(mk())
+	store, err := persist.Open(persist.Options{
+		Dir:    dir,
+		Algo:   algo,
+		Fsync:  persist.FsyncAlways,
+		Decode: streamfreq.Decode,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Recover(target); err != nil {
+		t.Fatalf("recover %s: %v", dir, err)
+	}
+	target.PersistTo(store)
+	target.ServeSnapshots(0)
+	return serve.NewServer(serve.Options{Target: target, Algo: algo, Store: store, Epoch: epoch})
+}
+
+// summaryBlob pulls the node's /v1/summary Encode blob — the bytes a
+// coordinator would merge, and the unit of recovery bit-identity.
+func summaryBlob(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s/v1/summary: %s: %s", url, resp.Status, b)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// killRecoverBlobIdentity runs one node through ingest → blob → kill →
+// recover → blob and requires the two blobs byte-identical: FsyncAlways
+// means every acknowledged /ingest is durable, so the recovered life
+// (checkpoint + WAL replay) must stand at exactly the same stream
+// position with exactly the same encoded state.
+func killRecoverBlobIdentity(t *testing.T, sw *swappable, url, dir, algo string, mk func() core.Summary) {
+	t.Helper()
+	before := summaryBlob(t, url)
+	sw.set(down())
+	srv := durableAlgoNode(t, dir, algo, mk, 2000)
+	sw.set(srv.Handler())
+	after := summaryBlob(t, url)
+	if !bytes.Equal(before, after) {
+		t.Fatalf("%s: recovered /v1/summary blob differs from pre-kill blob (%d vs %d bytes)",
+			algo, len(after), len(before))
+	}
+}
+
+// hhhResponse mirrors the /v1/hhh JSON envelope.
+type hhhResponse struct {
+	N            int64 `json:"n"`
+	Threshold    int64 `json:"threshold"`
+	Bits         uint  `json:"bits"`
+	UniverseBits uint  `json:"universe_bits"`
+	Prefixes     []struct {
+		Prefix   uint64 `json:"prefix"`
+		Level    int    `json:"level"`
+		Count    int64  `json:"count"`
+		Residual int64  `json:"residual"`
+		HHH      bool   `json:"hhh"`
+	} `json:"prefixes"`
+}
+
+func TestClusterHHHKillRecover(t *testing.T) {
+	const (
+		phi     = 0.002
+		streamN = 60_000
+	)
+	g, err := zipf.NewGenerator(1<<15, 1.1, 0x44A1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := g.Stream(streamN)
+	var parts [2][]core.Item
+	for i, it := range items {
+		parts[i%2] = append(parts[i%2], it)
+	}
+
+	// Both nodes run the registry CMH at the same φ and seed — identical
+	// geometry, the merge-compatibility requirement.
+	mk := func() core.Summary { return streamfreq.MustNew("CMH", phi, 1) }
+
+	dirs := [2]string{t.TempDir(), t.TempDir()}
+	var sws [2]*swappable
+	var urls []string
+	for i := 0; i < 2; i++ {
+		srv := durableAlgoNode(t, dirs[i], "CMH", mk, uint64(1000+i))
+		sws[i] = &swappable{}
+		sws[i].set(srv.Handler())
+		ts := httptest.NewServer(sws[i])
+		defer ts.Close()
+		urls = append(urls, ts.URL)
+	}
+
+	coord, err := cluster.New(cluster.Options{
+		Nodes:        urls,
+		MergeEncoded: streamfreq.MergeEncoded,
+		Epoch:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// First half of node 0's partition, a pull (so the coordinator holds
+	// the pre-kill epoch), then the kill/recover round with the HI01
+	// blob-identity pin, then the rest of the stream.
+	half := len(parts[0]) / 2
+	ingest(t, urls[0], parts[0][:half])
+	coord.PullAll(ctx)
+	killRecoverBlobIdentity(t, sws[0], urls[0], dirs[0], "CMH", mk)
+	ingest(t, urls[0], parts[0][half:])
+	ingest(t, urls[1], parts[1])
+	coord.PullAll(ctx)
+	cs := httptest.NewServer(coord.Handler())
+	defer cs.Close()
+
+	// The restart is observable, and no arrival was double-counted or
+	// lost across it.
+	if got := coord.N(); got != int64(streamN) {
+		t.Fatalf("merged N = %d, want exactly %d", got, streamN)
+	}
+	if st := coord.Stats(); st.Nodes[0].Restarts != 1 {
+		t.Fatalf("node 0 restarts = %d, want 1", st.Nodes[0].Restarts)
+	}
+
+	// Cross-node HHH through the coordinator's public /v1/hhh, pinned
+	// against exact per-level prefix truth over the union stream.
+	threshold := int64(phi * float64(streamN))
+	var hr hhhResponse
+	getJSON(t, cs.URL+fmt.Sprintf("/v1/hhh?phi=%g", phi), &hr)
+	if hr.N != int64(streamN) || hr.Threshold != threshold {
+		t.Fatalf("/v1/hhh n=%d threshold=%d, want %d/%d", hr.N, hr.Threshold, streamN, threshold)
+	}
+	if hr.Bits == 0 || hr.UniverseBits%hr.Bits != 0 {
+		t.Fatalf("/v1/hhh geometry bits=%d universe_bits=%d", hr.Bits, hr.UniverseBits)
+	}
+
+	reported := make(map[int]map[uint64]int64) // level → prefix → count
+	for _, pc := range hr.Prefixes {
+		if reported[pc.Level] == nil {
+			reported[pc.Level] = make(map[uint64]int64)
+		}
+		reported[pc.Level][pc.Prefix] = pc.Count
+	}
+	levels := int(hr.UniverseBits / hr.Bits)
+	for level := 0; level < levels; level++ {
+		truth := make(map[uint64]int64, 1<<12)
+		for _, it := range items {
+			truth[uint64(it)>>(uint(level)*hr.Bits)]++
+		}
+		for prefix, tru := range truth {
+			if tru < threshold {
+				continue
+			}
+			got, ok := reported[level][prefix]
+			if !ok {
+				t.Fatalf("level %d: heavy prefix %#x (true %d ≥ %d) missing from /v1/hhh — recall < 1",
+					level, prefix, tru, threshold)
+			}
+			// Count-Min is one-sided: the merged estimate never
+			// underestimates the union truth.
+			if got < tru {
+				t.Fatalf("level %d: prefix %#x reported %d < true %d", level, prefix, got, tru)
+			}
+		}
+	}
+
+	// The same route answers on the nodes directly — freqd and freqmerge
+	// serve one query surface.
+	var nodeHR hhhResponse
+	getJSON(t, urls[0]+fmt.Sprintf("/v1/hhh?phi=%g", phi), &nodeHR)
+	if nodeHR.N != int64(len(parts[0])) {
+		t.Fatalf("node 0 /v1/hhh n=%d, want its partition's %d", nodeHR.N, len(parts[0]))
+	}
+}
+
+func TestClusterQuantileKillRecover(t *testing.T) {
+	const (
+		phi     = 0.02 // ε = φ/2 = 0.01 per node
+		streamN = 40_000
+	)
+	g, err := zipf.NewGenerator(1<<14, 1.1, 0x61AD, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := g.Stream(streamN)
+	var parts [2][]core.Item
+	for i, it := range items {
+		parts[i%2] = append(parts[i%2], it)
+	}
+
+	// GK is a wire citizen outside the factories roster; both nodes must
+	// share ε or the coordinator's GK04 merge refuses.
+	mk := func() core.Summary {
+		q, err := streamfreq.NewQuantileForPhi(phi)
+		if err != nil {
+			t.Fatalf("NewQuantileForPhi(%g): %v", phi, err)
+		}
+		return q
+	}
+
+	dirs := [2]string{t.TempDir(), t.TempDir()}
+	var sws [2]*swappable
+	var urls []string
+	for i := 0; i < 2; i++ {
+		srv := durableAlgoNode(t, dirs[i], "GK", mk, uint64(1000+i))
+		sws[i] = &swappable{}
+		sws[i].set(srv.Handler())
+		ts := httptest.NewServer(sws[i])
+		defer ts.Close()
+		urls = append(urls, ts.URL)
+	}
+
+	coord, err := cluster.New(cluster.Options{
+		Nodes:        urls,
+		MergeEncoded: streamfreq.MergeEncoded,
+		Epoch:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// GK01 recovery bit-identity through the public API: the format
+	// carries the compression phase, so the recovered life's blob equals
+	// the pre-kill blob exactly.
+	half := len(parts[0]) / 2
+	ingest(t, urls[0], parts[0][:half])
+	coord.PullAll(ctx)
+	killRecoverBlobIdentity(t, sws[0], urls[0], dirs[0], "GK", mk)
+	ingest(t, urls[0], parts[0][half:])
+	ingest(t, urls[1], parts[1])
+	coord.PullAll(ctx)
+
+	cs := httptest.NewServer(coord.Handler())
+	defer cs.Close()
+	if got := coord.N(); got != int64(streamN) {
+		t.Fatalf("merged N = %d, want exactly %d", got, streamN)
+	}
+	if st := coord.Stats(); st.Nodes[0].Restarts != 1 {
+		t.Fatalf("node 0 restarts = %d, want 1", st.Nodes[0].Restarts)
+	}
+
+	// Exact union order statistics for the rank checks.
+	sorted := make([]uint64, len(items))
+	for i, it := range items {
+		sorted[i] = uint64(it)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// rank bounds of a value v: [#items < v, #items ≤ v].
+	rankLo := func(v uint64) int { return sort.Search(len(sorted), func(i int) bool { return sorted[i] >= v }) }
+	rankHi := func(v uint64) int { return sort.Search(len(sorted), func(i int) bool { return sorted[i] > v }) }
+
+	// Merged rank guarantee: the GK04 merge relaxes the tuple invariant
+	// to g+Δ ≤ 2(ε₁+ε₂)N, so a query answer can sit up to 2(ε₁+ε₂)N
+	// from the target rank — still far below the gap a wrong merge (max
+	// instead of add, double count) would open at these q points.
+	eps := phi / 2
+	slack := int64(2*(eps+eps)*float64(streamN)) + 2
+
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		var qr struct {
+			Q     float64 `json:"q"`
+			Value uint64  `json:"value"`
+			N     int64   `json:"n"`
+		}
+		getJSON(t, cs.URL+fmt.Sprintf("/v1/quantile?q=%g", q), &qr)
+		if qr.N != int64(streamN) {
+			t.Fatalf("/v1/quantile?q=%g n=%d, want %d", q, qr.N, streamN)
+		}
+		target := int64(q * float64(streamN))
+		lo, hi := int64(rankLo(qr.Value)), int64(rankHi(qr.Value))
+		if hi < target-slack || lo > target+slack {
+			t.Fatalf("/v1/quantile?q=%g = %#x at true rank [%d,%d], want within %d of %d",
+				q, qr.Value, lo, hi, slack, target)
+		}
+	}
+
+	// /v1/range across nodes: count below the universe midpoint against
+	// the exact union count, within the same merged-rank slack.
+	mid := uint64(1) << 63
+	var rr struct {
+		Lo       uint64 `json:"lo"`
+		Hi       uint64 `json:"hi"`
+		Estimate int64  `json:"estimate"`
+		N        int64  `json:"n"`
+	}
+	getJSON(t, cs.URL+fmt.Sprintf("/v1/range?lo=0&hi=%d", mid), &rr)
+	exactCount := int64(rankHi(mid))
+	if diff := rr.Estimate - exactCount; diff < -slack || diff > slack {
+		t.Fatalf("/v1/range[0,2^63] = %d, exact %d (slack %d)", rr.Estimate, exactCount, slack)
+	}
+}

@@ -1,0 +1,38 @@
+package quantile
+
+// Ingest cost of the GK summary — the per-arrival price of `freqd
+// -algo gk`. One insert is a binary search plus a slice insert, with a
+// compress pass amortized over every 1/(2ε) arrivals; the benchmark
+// holds the whole schedule (search, shift, compress) at the serving ε,
+// so the committed trajectory catches both a slower search and a
+// compression regression that lets the tuple list grow.
+
+import (
+	"testing"
+
+	"streamfreq/internal/zipf"
+)
+
+func BenchmarkGKInsert(b *testing.B) {
+	g, err := zipf.NewGenerator(1<<15, 1.1, 0x6B5E, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := g.Stream(1 << 18)
+	for _, eps := range []float64{0.01, 0.001} {
+		b.Run(epsLabel(eps), func(b *testing.B) {
+			s := New(eps)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Update(stream[i%len(stream)], 1)
+			}
+		})
+	}
+}
+
+func epsLabel(eps float64) string {
+	if eps == 0.01 {
+		return "eps=0.01"
+	}
+	return "eps=0.001"
+}

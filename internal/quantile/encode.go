@@ -1,0 +1,96 @@
+package quantile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// GK01 wire format, following the sketch-format conventions
+// (little-endian, 4-byte magic, fixed-width header, bounds-checked
+// payload before allocation):
+//
+//	[4]byte magic "GK01"
+//	u64 float64 bits of epsilon
+//	i64 n
+//	u64 sinceCompress
+//	u64 tuple count
+//	per tuple: u64 float64 bits of v, i64 g, i64 delta
+//
+// sinceCompress is state, not presentation: the compress schedule depends
+// on it, so it must survive a decode for checkpoint-then-replay to stay
+// bit-identical to uninterrupted ingest (the recovery wall's contract).
+
+const magicGK = "GK01"
+
+// maxGKTuples bounds decoded summaries to catch corrupt headers before a
+// huge allocation: 2^26 tuples is 1.5 GiB.
+const maxGKTuples = 1 << 26
+
+func errEmptyRange(lo, hi uint64) error {
+	return fmt.Errorf("quantile: empty range [%d, %d]", lo, hi)
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (g *GK) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(4 + 8*4 + 24*len(g.tuples))
+	buf.WriteString(magicGK)
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		buf.Write(b[:])
+	}
+	put(math.Float64bits(g.epsilon))
+	put(uint64(g.n))
+	put(uint64(g.sinceCompress))
+	put(uint64(len(g.tuples)))
+	for _, t := range g.tuples {
+		put(math.Float64bits(t.v))
+		put(uint64(t.g))
+		put(uint64(t.delta))
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeGK parses a summary produced by (*GK).MarshalBinary.
+func DecodeGK(data []byte) (*GK, error) {
+	if len(data) < 4 || string(data[:4]) != magicGK {
+		return nil, fmt.Errorf("quantile: not a GK blob")
+	}
+	rest := data[4:]
+	if len(rest) < 8*4 {
+		return nil, fmt.Errorf("quantile: truncated GK header")
+	}
+	u64 := func(off int) uint64 { return binary.LittleEndian.Uint64(rest[off:]) }
+	epsilon := math.Float64frombits(u64(0))
+	n := int64(u64(8))
+	sinceCompress := u64(16)
+	ntuples := u64(24)
+	if !(epsilon > 0 && epsilon < 1) { // also rejects NaN
+		return nil, fmt.Errorf("quantile: implausible GK epsilon %g", epsilon)
+	}
+	if n < 0 || ntuples > maxGKTuples || sinceCompress > math.MaxInt32 {
+		return nil, fmt.Errorf("quantile: implausible GK header")
+	}
+	payload := rest[32:]
+	if uint64(len(payload)) != ntuples*24 {
+		return nil, fmt.Errorf("quantile: GK payload %d bytes, want %d", len(payload), ntuples*24)
+	}
+	g := &GK{
+		epsilon:       epsilon,
+		n:             n,
+		sinceCompress: int(sinceCompress),
+		tuples:        make([]tuple, ntuples),
+	}
+	for i := range g.tuples {
+		off := i * 24
+		g.tuples[i] = tuple{
+			v:     math.Float64frombits(binary.LittleEndian.Uint64(payload[off:])),
+			g:     int64(binary.LittleEndian.Uint64(payload[off+8:])),
+			delta: int64(binary.LittleEndian.Uint64(payload[off+16:])),
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,209 @@
+package quantile
+
+import (
+	"math"
+
+	"streamfreq/internal/core"
+)
+
+// This file lifts GK to the full summary contract the registry machinery
+// expects — core.Summary, core.BatchUpdater, core.Snapshotter, and
+// core.Merger — so a GK summary serves, checkpoints, recovers, and merges
+// through exactly the same code paths as the frequent-items algorithms.
+//
+// GK is value-ordered, not identity-hashed: an Item is interpreted as the
+// numeric value float64(x). Quantile and range queries are the native
+// workload; point estimates and threshold queries are derived from rank
+// differences and carry the rank error ±εn on each side. Item values
+// above 2^53 lose low-order bits in the float64 conversion, so GK is
+// intended for ordered universes (timestamps, ports, sizes, prices) that
+// fit comfortably below that.
+//
+// GK stays out of the factories roster for the same reason "SSW" does
+// (see registry.go): it answers a different question than FrequentItems(φ)
+// and is provisioned by ε, not φ — but the GK01 wire format makes it a
+// first-class wire citizen.
+
+// Name implements core.Summary; "GK" is the usual shorthand for the
+// Greenwald–Khanna summary.
+func (g *GK) Name() string { return "GK" }
+
+// Update implements core.Summary: count arrivals of the value float64(x).
+// GK is insert-only; a negative count panics like the counter summaries.
+func (g *GK) Update(x core.Item, count int64) {
+	if count < 0 {
+		panic("quantile: GK is insert-only; negative count")
+	}
+	v := float64(x)
+	for i := int64(0); i < count; i++ {
+		g.Insert(v)
+	}
+}
+
+// UpdateBatch implements core.BatchUpdater. GK's insert cost is dominated
+// by the ordered-tuple search, which gains nothing from batching, so the
+// batch path is the scalar loop — bit-identical to per-item Update by
+// construction, which is what WAL replay (recovery) rides.
+func (g *GK) UpdateBatch(items []core.Item) {
+	for _, x := range items {
+		g.Insert(float64(x))
+	}
+}
+
+// Estimate implements core.Summary: the estimated number of arrivals of
+// exactly the value float64(x), derived from the rank difference across
+// the value. The error is within ±2εn (one rank bound on each side).
+func (g *GK) Estimate(x core.Item) int64 {
+	v := float64(x)
+	hiMid := rankMidpoint(g.Rank(v))
+	loMid := rankMidpoint(g.Rank(v - 0.5))
+	est := hiMid - loMid
+	if est < 0 {
+		est = 0
+	}
+	return est
+}
+
+// rankMidpoint collapses a [lo, hi] rank bound to its midpoint.
+func rankMidpoint(lo, hi int64) int64 { return (lo + hi) / 2 }
+
+// Query implements core.Summary: every stored value whose estimated
+// arrival count reaches threshold, in descending count order. Only
+// integral non-negative values are representable as Items; GK never
+// stores others when fed through Update/UpdateBatch.
+func (g *GK) Query(threshold int64) []core.ItemCount {
+	if threshold <= 0 {
+		threshold = 1
+	}
+	var out []core.ItemCount
+	var rminBefore, deltaBefore int64
+	i := 0
+	for i < len(g.tuples) {
+		v := g.tuples[i].v
+		rmin := rminBefore
+		var delta int64
+		j := i
+		for ; j < len(g.tuples) && g.tuples[j].v == v; j++ {
+			rmin += g.tuples[j].g
+			delta = g.tuples[j].delta
+		}
+		// Midpoint-rank difference across the value run: identical to
+		// what Estimate reports for the same value.
+		est := rmin - rminBefore + (delta-deltaBefore)/2
+		if est >= threshold && v >= 0 && v <= maxExactItem && v == math.Trunc(v) {
+			out = append(out, core.ItemCount{Item: core.Item(uint64(v)), Count: est})
+		}
+		rminBefore, deltaBefore = rmin, delta
+		i = j
+	}
+	core.SortByCountDesc(out)
+	return out
+}
+
+// maxExactItem is the largest float64 that round-trips to uint64 without
+// hitting the lost-precision range.
+const maxExactItem = float64(1 << 53)
+
+// Clone returns an independent deep copy.
+func (g *GK) Clone() *GK {
+	ng := &GK{
+		epsilon:       g.epsilon,
+		n:             g.n,
+		sinceCompress: g.sinceCompress,
+		tuples:        make([]tuple, len(g.tuples)),
+	}
+	copy(ng.tuples, g.tuples)
+	return ng
+}
+
+// Snapshot implements core.Snapshotter.
+func (g *GK) Snapshot() core.Summary { return g.Clone() }
+
+// Merge implements core.Merger with the Greenwald–Khanna (2004)
+// sensor-network merge: the tuple lists interleave in value order, and
+// each tuple's Δ absorbs the local rank uncertainty of the *other*
+// summary at its position (the g+Δ−1 spread of the other list's next
+// tuple). The merged summary answers rank queries within ε·n1 + ε·n2 =
+// ε·(n1+n2), so equal-ε summaries merge without losing the ε guarantee;
+// unequal ε is rejected as incompatible, matching the registry's
+// same-parameters merge contract.
+func (g *GK) Merge(other core.Summary) error {
+	o, ok := other.(*GK)
+	if !ok {
+		return core.Incompatible("GK: cannot merge %T", other)
+	}
+	if o.epsilon != g.epsilon {
+		return core.Incompatible("GK: epsilon mismatch %g vs %g", g.epsilon, o.epsilon)
+	}
+	if o.n == 0 {
+		return nil
+	}
+	if g.n == 0 {
+		g.tuples = append(g.tuples[:0], o.tuples...)
+		g.n = o.n
+		g.sinceCompress = o.sinceCompress
+		return nil
+	}
+	merged := make([]tuple, 0, len(g.tuples)+len(o.tuples))
+	i, j := 0, 0
+	for i < len(g.tuples) || j < len(o.tuples) {
+		var t tuple
+		takeOurs := j >= len(o.tuples) ||
+			(i < len(g.tuples) && g.tuples[i].v <= o.tuples[j].v)
+		if takeOurs {
+			t = g.tuples[i]
+			i++
+			if j < len(o.tuples) {
+				nxt := o.tuples[j]
+				t.delta += nxt.g + nxt.delta - 1
+			}
+		} else {
+			t = o.tuples[j]
+			j++
+			if i < len(g.tuples) {
+				nxt := g.tuples[i]
+				t.delta += nxt.g + nxt.delta - 1
+			}
+		}
+		merged = append(merged, t)
+	}
+	g.tuples = merged
+	g.n += o.n
+	g.sinceCompress = 0
+	g.compress()
+	return nil
+}
+
+// RangeEstimate returns the estimated number of arrivals with values in
+// [lo, hi] (inclusive), from the rank difference across the range bounds.
+// The signature mirrors Hierarchical.RangeEstimate so the serving layer
+// dispatches on one capability interface; the error is within ±2εn.
+func (g *GK) RangeEstimate(lo, hi uint64) (int64, error) {
+	if lo > hi {
+		return 0, errEmptyRange(lo, hi)
+	}
+	hiMid := rankMidpoint(g.Rank(float64(hi)))
+	loMid := rankMidpoint(g.Rank(float64(lo) - 0.5))
+	est := hiMid - loMid
+	if est < 0 {
+		est = 0
+	}
+	return est, nil
+}
+
+// QuantileQuery returns the approximate q-quantile of the inserted item
+// values as an Item, mirroring Hierarchical.QuantileQuery. The returned
+// value's rank is within ±εn of q·n.
+func (g *GK) QuantileQuery(q float64) (uint64, error) {
+	v, err := g.Quantile(q)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 {
+		return 0, nil
+	}
+	if v >= math.MaxUint64 {
+		return math.MaxUint64, nil
+	}
+	return uint64(math.Round(v)), nil
+}

@@ -27,13 +27,17 @@ import (
 
 // Handler returns the router's HTTP API mux: the /v1 surface with the
 // pre-versioning paths as aliases, like the other daemons.
-func (rt *Router) Handler() http.Handler {
+func (rt *Router) Handler() http.Handler { return rt.API().Handler() }
+
+// API returns the router's assembled route set — exposed so the docs
+// test can diff the README API-reference table against the live mux.
+func (rt *Router) API() *serve.API {
 	api := serve.NewAPI()
 	api.Route("POST", "/ingest", rt.handleIngest, "/ingest")
 	api.Route("GET", "/stats", rt.handleStats, "/stats")
 	api.Route("GET", "/shardmap", rt.handleShardMap, "/shardmap")
 	api.Route("POST", "/probe", rt.handleProbe, "/probe")
-	return api.Handler()
+	return api
 }
 
 // handleIngest streams the request body in bounded batches: decode,

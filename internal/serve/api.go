@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 )
 
@@ -25,7 +26,16 @@ import (
 
 // API accumulates versioned routes into one mux.
 type API struct {
-	mux *http.ServeMux
+	mux    *http.ServeMux
+	routes []RouteInfo
+}
+
+// RouteInfo describes one registered route: the comma-separated methods
+// it accepts and its canonical /v1 pattern (aliases are not listed —
+// they are compatibility shims, not API surface).
+type RouteInfo struct {
+	Methods string
+	Pattern string
 }
 
 // NewAPI returns an API with the fallback 404 envelope and /healthz
@@ -60,10 +70,25 @@ func (a *API) Route(methods, pattern string, handler http.HandlerFunc, aliases .
 	for _, alias := range aliases {
 		a.mux.HandleFunc(alias, wrapped)
 	}
+	a.routes = append(a.routes, RouteInfo{Methods: methods, Pattern: "/v1" + pattern})
 }
 
 // Handler returns the assembled mux.
 func (a *API) Handler() http.Handler { return a.mux }
+
+// Routes returns every registered route sorted by pattern — the live
+// introspection surface the README API-reference test diffs the docs
+// against, so the table cannot drift from the mux.
+func (a *API) Routes() []RouteInfo {
+	out := append([]RouteInfo(nil), a.routes...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pattern != out[j].Pattern {
+			return out[i].Pattern < out[j].Pattern
+		}
+		return out[i].Methods < out[j].Methods
+	})
+	return out
+}
 
 // errorCode maps an HTTP status to the stable machine-readable code in
 // the error envelope, so clients switch on a string that survives

@@ -132,35 +132,23 @@ func (q *QueryHandlers) label(it core.Item) string {
 }
 
 // TopK answers a threshold query (?phi= or ?threshold=, &k= caps the
-// report) against one pinned view. Method enforcement is the API
-// wrapper's job (Route), not the handler's.
+// report, &horizon= narrows a multi-resolution summary to one wall-clock
+// span) against one pinned view. Method enforcement is the API wrapper's
+// job (Route), not the handler's.
 func (q *QueryHandlers) TopK(w http.ResponseWriter, r *http.Request) {
 	query := r.URL.Query()
 	view := q.View()
+	if raw := query.Get("horizon"); raw != "" {
+		v, ok := resolveHorizon(w, view, raw)
+		if !ok {
+			return
+		}
+		view = v
+	}
 	n := thresholdN(view)
-	var threshold int64
-	switch {
-	case query.Get("threshold") != "":
-		t, err := strconv.ParseInt(query.Get("threshold"), 10, 64)
-		if err != nil || t < 1 {
-			HTTPError(w, http.StatusBadRequest, "threshold must be a positive integer")
-			return
-		}
-		threshold = t
-	default:
-		phiStr := query.Get("phi")
-		if phiStr == "" {
-			phiStr = strconv.FormatFloat(q.defaultPhi(), 'g', -1, 64)
-		}
-		phi, err := strconv.ParseFloat(phiStr, 64)
-		if err != nil || phi <= 0 || phi >= 1 {
-			HTTPError(w, http.StatusBadRequest, "phi must be in (0,1)")
-			return
-		}
-		threshold = int64(phi * float64(n))
-		if threshold < 1 {
-			threshold = 1
-		}
+	threshold, ok := q.parseThreshold(w, query, n)
+	if !ok {
+		return
 	}
 	report := view.Query(threshold)
 	if kStr := query.Get("k"); kStr != "" {

@@ -1,0 +1,324 @@
+package serve_test
+
+// Coverage for the rich query surface: /v1/hhh, /v1/range, /v1/quantile,
+// and the ?horizon= narrowing on /v1/topk — capability dispatch against
+// hierarchy (CMH), quantile (GK), multi-resolution (MultiRes), and
+// deliberately-incapable (SSH) targets, over real loopback HTTP.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"streamfreq/internal/core"
+	"streamfreq/internal/counters"
+	"streamfreq/internal/quantile"
+	"streamfreq/internal/serve"
+	"streamfreq/internal/sketches"
+	"streamfreq/internal/window"
+)
+
+func richServer(t *testing.T, sum core.Summary, algo string) *httptest.Server {
+	t.Helper()
+	// maxStale 0: every read re-clones after a mutation, so queries see
+	// exactly what the test ingested — and the serving view is the
+	// concrete summary clone capability dispatch needs.
+	srv := serve.NewServer(serve.Options{Target: core.NewConcurrent(sum).ServeSnapshots(0), Algo: algo})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// getError fetches url expecting the JSON error envelope; it returns the
+// status and the machine-readable code.
+func getError(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	if err := json.Unmarshal(raw, &body); err != nil || body.Error.Code == "" {
+		t.Fatalf("GET %s: status %d with no error envelope: %s", url, resp.StatusCode, raw)
+	}
+	return resp.StatusCode, body.Error.Code
+}
+
+func newTestHierarchy(t *testing.T) *sketches.Hierarchical {
+	t.Helper()
+	h, err := sketches.NewCountMinHierarchy(sketches.HierarchyConfig{
+		Depth: 4, Width: 4096, Bits: 8, UniverseBits: 16, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+type hhhResponse struct {
+	N            int64 `json:"n"`
+	Threshold    int64 `json:"threshold"`
+	Bits         uint  `json:"bits"`
+	UniverseBits uint  `json:"universe_bits"`
+	Prefixes     []struct {
+		Prefix   uint64 `json:"prefix"`
+		Level    int    `json:"level"`
+		Count    int64  `json:"count"`
+		Residual int64  `json:"residual"`
+		HHH      bool   `json:"hhh"`
+	} `json:"prefixes"`
+}
+
+func TestServeHHH(t *testing.T) {
+	h := newTestHierarchy(t)
+	// One prefix explained by a single heavy child, one heavy only in
+	// aggregate — the two HHH shapes the endpoint must distinguish.
+	h.Update(core.Item(0x0101), 5000)
+	for c := uint64(0); c < 256; c++ {
+		h.Update(core.Item(0x0200|c), 40)
+	}
+	ts := richServer(t, h, "CMH")
+
+	var out hhhResponse
+	getJSON(t, ts.URL+"/v1/hhh?threshold=1000", &out)
+	if out.N != 5000+256*40 || out.Threshold != 1000 {
+		t.Fatalf("envelope n=%d threshold=%d", out.N, out.Threshold)
+	}
+	if out.Bits != 8 || out.UniverseBits != 16 {
+		t.Fatalf("hierarchy geometry bits=%d universe=%d", out.Bits, out.UniverseBits)
+	}
+	byKey := map[[2]uint64]bool{} // (level, prefix) -> hhh flag
+	for _, p := range out.Prefixes {
+		byKey[[2]uint64{uint64(p.Level), p.Prefix}] = p.HHH
+	}
+	if hhh, ok := byKey[[2]uint64{1, 0x02}]; !ok || !hhh {
+		t.Errorf("prefix 0x02 level 1: present=%v hhh=%v, want a spread-traffic HHH", ok, hhh)
+	}
+	if hhh, ok := byKey[[2]uint64{1, 0x01}]; !ok || hhh {
+		t.Errorf("prefix 0x01 level 1: present=%v hhh=%v, want reported but discounted", ok, hhh)
+	}
+	if hhh, ok := byKey[[2]uint64{0, 0x0101}]; !ok || !hhh {
+		t.Errorf("item 0x0101 level 0: present=%v hhh=%v, want the heavy leaf", ok, hhh)
+	}
+
+	// φ-style thresholds scale against n like /topk.
+	var phiOut hhhResponse
+	getJSON(t, ts.URL+"/v1/hhh?phi=0.1", &phiOut)
+	if want := int64(0.1 * float64(out.N)); phiOut.Threshold != want {
+		t.Errorf("phi threshold = %d, want %d", phiOut.Threshold, want)
+	}
+
+	for _, bad := range []string{"?phi=2", "?phi=abc", "?threshold=0", "?threshold=-5"} {
+		if status, code := getError(t, ts.URL+"/v1/hhh"+bad); status != http.StatusBadRequest || code != "bad_request" {
+			t.Errorf("hhh%s: got %d/%s, want 400/bad_request", bad, status, code)
+		}
+	}
+}
+
+func TestServeRange(t *testing.T) {
+	// Uniform values over [0,1000): exact range sums are trivial.
+	items := make([]core.Item, 0, 20000)
+	for rep := 0; rep < 20; rep++ {
+		for v := 0; v < 1000; v++ {
+			items = append(items, core.Item(v))
+		}
+	}
+	for name, sum := range map[string]core.Summary{
+		"GK":  quantile.New(0.01),
+		"CMH": newTestHierarchy(t),
+	} {
+		t.Run(name, func(t *testing.T) {
+			core.UpdateAll(sum, items)
+			ts := richServer(t, sum, name)
+			var out struct {
+				Lo, Hi   uint64
+				Estimate int64
+				N        int64
+			}
+			getJSON(t, ts.URL+"/v1/range?lo=0&hi=499", &out)
+			want, slack := int64(10000), int64(0.03*float64(len(items)))+2
+			if out.Estimate < want-slack || out.Estimate > want+slack {
+				t.Errorf("range [0,499] = %d, want %d ± %d", out.Estimate, want, slack)
+			}
+			if out.N != int64(len(items)) {
+				t.Errorf("n = %d, want %d", out.N, len(items))
+			}
+			// Hex parsing follows /estimate's item syntax.
+			getJSON(t, ts.URL+"/v1/range?lo=0x0&hi=0x1f3", &out)
+			if out.Hi != 499 {
+				t.Errorf("hex hi parsed as %d, want 499", out.Hi)
+			}
+			for _, bad := range []string{"?lo=5", "?hi=5", "?lo=9&hi=5", "?lo=x&hi=5"} {
+				if status, code := getError(t, ts.URL+"/v1/range"+bad); status != http.StatusBadRequest || code != "bad_request" {
+					t.Errorf("range%s: got %d/%s, want 400/bad_request", bad, status, code)
+				}
+			}
+		})
+	}
+}
+
+func TestServeQuantile(t *testing.T) {
+	g := quantile.New(0.01)
+	items := make([]core.Item, 0, 20000)
+	for rep := 0; rep < 20; rep++ {
+		for v := 0; v < 1000; v++ {
+			items = append(items, core.Item(v))
+		}
+	}
+	core.UpdateAll(g, items)
+	ts := richServer(t, g, "GK")
+	var out struct {
+		Q     float64
+		Value uint64
+		N     int64
+	}
+	getJSON(t, ts.URL+"/v1/quantile?q=0.5", &out)
+	if out.Value < 480 || out.Value > 520 {
+		t.Errorf("median of uniform [0,1000) = %d, want ≈500", out.Value)
+	}
+	if out.N != int64(len(items)) {
+		t.Errorf("n = %d, want %d", out.N, len(items))
+	}
+	for _, bad := range []string{"", "?q=1.5", "?q=-0.1", "?q=abc"} {
+		if status, code := getError(t, ts.URL+"/v1/quantile"+bad); status != http.StatusBadRequest || code != "bad_request" {
+			t.Errorf("quantile%s: got %d/%s, want 400/bad_request", bad, status, code)
+		}
+	}
+	// An empty summary has no ranks to report — a missing resource.
+	empty := richServer(t, quantile.New(0.01), "GK")
+	if status, code := getError(t, empty.URL+"/v1/quantile?q=0.5"); status != http.StatusNotFound || code != "not_found" {
+		t.Errorf("empty quantile: got %d/%s, want 404/not_found", status, code)
+	}
+}
+
+// TestServeRichQueryUnsupported pins the capability contract: the routes
+// exist on every server, and an algorithm that cannot answer gets the
+// 404 envelope, not a missing route.
+func TestServeRichQueryUnsupported(t *testing.T) {
+	sum := counters.NewSpaceSavingHeap(64)
+	sum.Update(1, 10)
+	ts := richServer(t, sum, "SSH")
+	for _, path := range []string{
+		"/v1/hhh?threshold=1",
+		"/v1/range?lo=0&hi=5",
+		"/v1/quantile?q=0.5",
+		"/v1/topk?horizon=1m",
+	} {
+		status, code := getError(t, ts.URL+path)
+		if status != http.StatusNotFound || code != "not_found" {
+			t.Errorf("%s on SSH: got %d/%s, want 404/not_found", path, status, code)
+		}
+	}
+}
+
+type manualClock struct{ t time.Time }
+
+func (c *manualClock) now() time.Time { return c.t }
+
+func newMultiResTarget(t *testing.T, clk *manualClock, factory func() core.Summary) *window.MultiRes {
+	t.Helper()
+	m, err := window.NewMultiRes(window.MultiResConfig{
+		Horizons: []time.Duration{time.Minute, time.Hour},
+		Blocks:   4,
+		Factory:  factory,
+		Now:      clk.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestServeTopKHorizon(t *testing.T) {
+	clk := &manualClock{t: time.Unix(1_000_000, 0)}
+	m := newMultiResTarget(t, clk, func() core.Summary { return counters.NewSpaceSavingHeap(64) })
+	m.UpdateBatch([]core.Item{1, 1, 1, 2})
+	clk.t = clk.t.Add(5 * time.Minute)
+	m.UpdateBatch([]core.Item{7, 7, 8})
+	ts := richServer(t, m, "MR-SSH")
+
+	var short topkResponse
+	getJSON(t, ts.URL+"/v1/topk?horizon=1m&threshold=1", &short)
+	if short.N != 3 {
+		t.Fatalf("1m horizon n = %d, want 3", short.N)
+	}
+	seen := map[uint64]bool{}
+	for _, it := range short.Items {
+		seen[it.Item] = true
+	}
+	if !seen[7] || !seen[8] || seen[1] {
+		t.Fatalf("1m horizon items = %v, want recent traffic only", seen)
+	}
+	var long topkResponse
+	getJSON(t, ts.URL+"/v1/topk?horizon=1h&threshold=1", &long)
+	if long.N != 7 {
+		t.Fatalf("1h horizon n = %d, want 7", long.N)
+	}
+	// φ thresholds scale against the horizon's event count, not the
+	// lifetime stream: φ=0.4 of 3 recent events is threshold 1.
+	var phi topkResponse
+	getJSON(t, ts.URL+"/v1/topk?horizon=1m&phi=0.4", &phi)
+	if phi.Threshold != 1 {
+		t.Fatalf("1m φ=0.4 threshold = %d, want 1 (denominator must be horizon n)", phi.Threshold)
+	}
+	if status, code := getError(t, ts.URL+"/v1/topk?horizon=2h"); status != http.StatusBadRequest || code != "bad_request" {
+		t.Errorf("unconfigured horizon: got %d/%s, want 400/bad_request", status, code)
+	}
+	if status, _ := getError(t, ts.URL+"/v1/topk?horizon=soon"); status != http.StatusBadRequest {
+		t.Errorf("malformed horizon: got %d, want 400", status)
+	}
+}
+
+// TestServeHHHOverHorizon pins the composition the tentpole names: a
+// MultiRes of hierarchy buckets answers prefix queries scoped to a
+// wall-clock horizon, through the horizon view's exposed summary.
+func TestServeHHHOverHorizon(t *testing.T) {
+	clk := &manualClock{t: time.Unix(2_000_000, 0)}
+	m := newMultiResTarget(t, clk, func() core.Summary {
+		h, err := sketches.NewCountMinHierarchy(sketches.HierarchyConfig{
+			Depth: 4, Width: 2048, Bits: 8, UniverseBits: 16, Seed: 7,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return h
+	})
+	m.Update(core.Item(0x0101), 500) // old traffic
+	clk.t = clk.t.Add(10 * time.Minute)
+	m.Update(core.Item(0x0202), 300) // recent traffic
+	ts := richServer(t, m, "MR-CMH")
+
+	var out hhhResponse
+	getJSON(t, ts.URL+fmt.Sprintf("/v1/hhh?horizon=1m&threshold=%d", 100), &out)
+	if out.N != 300 {
+		t.Fatalf("1m hhh n = %d, want 300", out.N)
+	}
+	sawRecent, sawOld := false, false
+	for _, p := range out.Prefixes {
+		if p.Level == 0 && p.Prefix == 0x0202 {
+			sawRecent = true
+		}
+		if p.Level == 0 && p.Prefix == 0x0101 {
+			sawOld = true
+		}
+	}
+	if !sawRecent || sawOld {
+		t.Fatalf("1m hhh recent=%v old=%v, want only recent prefixes", sawRecent, sawOld)
+	}
+	var all hhhResponse
+	getJSON(t, ts.URL+"/v1/hhh?horizon=1h&threshold=100", &all)
+	if all.N != 800 {
+		t.Fatalf("1h hhh n = %d, want 800", all.N)
+	}
+}

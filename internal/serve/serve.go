@@ -223,11 +223,22 @@ func NewServer(opts Options) *Server {
 // Handler returns the HTTP API mux: the /v1 surface with the
 // pre-versioning paths as aliases, plus the tenant routes when the
 // target is a tenant table.
-func (s *Server) Handler() http.Handler {
+func (s *Server) Handler() http.Handler { return s.API().Handler() }
+
+// API returns the node's assembled route set. Exposed (rather than only
+// the opaque Handler) so the docs test can diff the README API-reference
+// table against the live mux.
+func (s *Server) API() *API {
 	api := NewAPI()
 	api.Route("POST", "/ingest", s.handleIngest, "/ingest")
 	api.Route("GET", "/topk", s.queries.TopK, "/topk")
 	api.Route("GET", "/estimate", s.queries.Estimate, "/estimate")
+	// The rich query surface is /v1-only (no legacy aliases — it never
+	// existed pre-versioning) and always registered: capability, not
+	// configuration, decides whether a given algo answers.
+	api.Route("GET", "/hhh", s.queries.HHH)
+	api.Route("GET", "/range", s.queries.Range)
+	api.Route("GET", "/quantile", s.queries.Quantile)
 	api.Route("GET", "/summary", s.handleSummary, "/summary")
 	api.Route("GET", "/stats", s.handleStats, "/stats")
 	api.Route("POST", "/refresh", s.handleRefresh, "/refresh")
@@ -240,7 +251,7 @@ func (s *Server) Handler() http.Handler {
 		api.Route("GET", "/tenants", s.handleTenants)
 		api.Route("GET", "/tenants/summary", s.handleTenantBundle)
 	}
-	return api.Handler()
+	return api
 }
 
 func (s *Server) mergeNames(names map[core.Item]string) {

@@ -35,6 +35,11 @@ type Hierarchical struct {
 	// maxCandidates caps the per-level frontier to bound worst-case query
 	// work on adversarial thresholds.
 	maxCandidates int
+	// scratch holds per-level prefix buffers between UpdateBatch calls
+	// (retained like other batch implementations' scratch state; a single
+	// hierarchy's batch path is not safe for concurrent use, exactly like
+	// Update).
+	scratch []core.Item
 }
 
 // HierarchyConfig parameterizes a Hierarchical sketch.
@@ -127,6 +132,34 @@ func (h *Hierarchical) Update(x core.Item, count int64) {
 	for j, s := range h.levels {
 		s.Update(core.Item(xv>>(uint(j)*h.bits)), count)
 	}
+}
+
+// UpdateBatch implements core.BatchUpdater: for each level it rewrites
+// the batch into that level's prefixes in a retained scratch buffer and
+// feeds it through the level sketch's native batch path, so the per-row
+// hash-state hoisting of the flat sketches applies per level. The level
+// sketches are linear, so the result is bit-identical to the scalar
+// Update loop.
+func (h *Hierarchical) UpdateBatch(items []core.Item) {
+	if len(items) == 0 {
+		return
+	}
+	if cap(h.scratch) < len(items) {
+		h.scratch = make([]core.Item, len(items))
+	}
+	buf := h.scratch[:len(items)]
+	mask := ^uint64(0)
+	if h.universeBits < 64 {
+		mask = uint64(1)<<h.universeBits - 1
+	}
+	for j, s := range h.levels {
+		shift := uint(j) * h.bits
+		for i, x := range items {
+			buf[i] = core.Item(uint64(x) & mask >> shift)
+		}
+		core.UpdateAll(s, buf)
+	}
+	h.n += int64(len(items))
 }
 
 // Estimate returns the full-resolution (level-0) estimate.

@@ -28,8 +28,14 @@ type EHistogram struct {
 }
 
 type ehBucket struct {
-	ts   int64
-	size int64
+	ts int64
+	// start is the arrival time of the bucket's oldest event. Buckets
+	// partition the event sequence in arrival order, so a bucket
+	// straddles the window boundary only when start has left the window
+	// while ts has not — which is exactly when the classic half-the-
+	// oldest-bucket correction applies; counts are exact otherwise.
+	start int64
+	size  int64
 }
 
 // NewEHistogram returns an exponential histogram over a window of the
@@ -53,7 +59,7 @@ func (h *EHistogram) Observe(event bool) {
 	if !event {
 		return
 	}
-	h.buckets = append(h.buckets, ehBucket{ts: h.now, size: 1})
+	h.buckets = append(h.buckets, ehBucket{ts: h.now, start: h.now, size: 1})
 	h.total++
 	h.merge()
 }
@@ -93,7 +99,7 @@ func (h *EHistogram) merge() {
 			continue
 		}
 		// Merge the two oldest buckets of this size: the merged bucket
-		// keeps the newer timestamp.
+		// keeps the newer end timestamp and the older start.
 		second := -1
 		for i := first + 1; i < len(h.buckets); i++ {
 			if h.buckets[i].size == size {
@@ -102,8 +108,74 @@ func (h *EHistogram) merge() {
 			}
 		}
 		h.buckets[second].size = 2 * size
+		h.buckets[second].start = h.buckets[first].start
 		h.buckets = append(h.buckets[:first], h.buckets[first+1:]...)
 	}
+}
+
+// AddAt advances the clock to the absolute step now (expiring buckets
+// that fall out of the window) and records count events at it. The count
+// is inserted via its binary decomposition — one bucket per set bit,
+// largest first, so bucket sizes stay non-increasing toward the newest
+// end — followed by the usual merge cascade. This is the bulk-arrival
+// entry point the multi-resolution serving ring uses: a batch of b items
+// costs O(log b + log W) bucket operations instead of b Observe calls.
+//
+// A now earlier than the current clock does not rewind time: the events
+// are recorded at the current step (arrival times within a group-commit
+// batch are not ordered anyway).
+func (h *EHistogram) AddAt(now, count int64) {
+	if now > h.now {
+		h.now = now
+		h.expire()
+	}
+	for size := int64(1) << 62; size > 0; size >>= 1 {
+		if count&size == 0 {
+			continue
+		}
+		h.buckets = append(h.buckets, ehBucket{ts: h.now, start: h.now, size: size})
+		h.total += size
+		h.merge()
+	}
+}
+
+// CountAt estimates the number of events in the window ending at the
+// absolute step now, without mutating the histogram — safe for
+// concurrent readers of a serving snapshot, unlike Count, whose eager
+// expiry writes. A now earlier than the current clock reads as of the
+// current clock.
+func (h *EHistogram) CountAt(now int64) int64 {
+	if now < h.now {
+		now = h.now
+	}
+	var total, oldest, oldestStart int64
+	seen := false
+	for _, b := range h.buckets {
+		if b.ts <= now-h.window {
+			continue
+		}
+		if !seen {
+			oldest, oldestStart, seen = b.size, b.start, true
+		}
+		total += b.size
+	}
+	if !seen {
+		return 0
+	}
+	if oldestStart > now-h.window {
+		// Even the oldest live bucket began inside the window: nothing
+		// straddles the boundary and the sum is exact.
+		return total
+	}
+	return total - oldest + (oldest+1)/2
+}
+
+// Clone returns an independent deep copy.
+func (h *EHistogram) Clone() *EHistogram {
+	nh := *h
+	nh.buckets = make([]ehBucket, len(h.buckets))
+	copy(nh.buckets, h.buckets)
+	return &nh
 }
 
 // Count estimates the number of events in the last W steps: the full
@@ -114,6 +186,9 @@ func (h *EHistogram) Count() int64 {
 	if len(h.buckets) == 0 {
 		return 0
 	}
+	if h.buckets[0].start > h.now-h.window {
+		return h.total
+	}
 	return h.total - h.buckets[0].size + (h.buckets[0].size+1)/2
 }
 
@@ -121,4 +196,4 @@ func (h *EHistogram) Count() int64 {
 func (h *EHistogram) Buckets() int { return len(h.buckets) }
 
 // Bytes returns the approximate footprint.
-func (h *EHistogram) Bytes() int { return 16 * len(h.buckets) }
+func (h *EHistogram) Bytes() int { return 24 * len(h.buckets) }

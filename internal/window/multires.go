@@ -1,0 +1,327 @@
+package window
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"streamfreq/internal/core"
+)
+
+// MultiRes composes the exponential histogram with the point/hierarchy
+// summaries for wall-clock multi-resolution serving: one ingest stream
+// feeds a ring of bucket summaries per configured horizon (1m, 1h, 1d,
+// …), and a query for any horizon merges that ring's live buckets into
+// one summary of roughly the last-horizon traffic, with the horizon's
+// EHistogram supplying the event-count denominator (so φ·N thresholds
+// scale to the horizon, not the whole stream).
+//
+// The bucket ring is the standard block decomposition: each horizon is
+// split into Blocks wall-clock-aligned spans, a bucket summary per live
+// span, written lazily (an idle span costs nothing) and recycled in
+// place when its span number comes around again. The horizon a view
+// covers is therefore approximate at block granularity — between
+// span−span/Blocks and span of trailing traffic — while the EHistogram
+// counts events over exactly the horizon with relative error ε.
+//
+// MultiRes is a serving composition, not a wire citizen: it has no
+// magic-versioned format and no Merger, so it is memory-only — freqd
+// rejects -horizons with -data-dir. Whole-stream durability plus
+// wall-clock windows in one process is an open composition (checkpoint
+// the bucket rings like Windowed checkpoints its block ring).
+type MultiRes struct {
+	rings   []*horizonRing
+	factory func() core.Summary
+	n       int64
+	name    string
+	now     func() time.Time
+}
+
+type horizonRing struct {
+	span    time.Duration
+	block   time.Duration // span / blocks
+	buckets []core.Summary
+	blockNo []int64 // absolute block number held by each slot; -1 = empty
+	eh      *EHistogram
+}
+
+// MultiResConfig parameterizes a MultiRes.
+type MultiResConfig struct {
+	// Horizons are the servable wall-clock spans, e.g. 1m, 1h, 24h.
+	Horizons []time.Duration
+	// Blocks is the bucket-ring length per horizon (default 8): finer
+	// horizon alignment for more merge work per query.
+	Blocks int
+	// Epsilon is the EHistogram relative error on horizon event counts
+	// (default 0.01).
+	Epsilon float64
+	// Factory builds one bucket summary; the product must implement
+	// Snapshotter and Merger (every registry algorithm does).
+	Factory func() core.Summary
+	// Now injects the clock; nil means time.Now. Tests drive a fake.
+	Now func() time.Time
+}
+
+// NewMultiRes validates the configuration and builds the serving
+// composition.
+func NewMultiRes(cfg MultiResConfig) (*MultiRes, error) {
+	if len(cfg.Horizons) == 0 {
+		return nil, fmt.Errorf("window: MultiRes needs at least one horizon")
+	}
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("window: MultiRes needs a bucket summary factory")
+	}
+	if cfg.Blocks == 0 {
+		cfg.Blocks = 8
+	}
+	if cfg.Blocks < 1 {
+		return nil, fmt.Errorf("window: MultiRes blocks must be positive")
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 0.01
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	probe := cfg.Factory()
+	if _, ok := probe.(core.Snapshotter); !ok {
+		return nil, fmt.Errorf("window: MultiRes bucket summary %s does not implement Snapshotter", probe.Name())
+	}
+	if _, ok := probe.(core.Merger); !ok {
+		return nil, fmt.Errorf("window: MultiRes bucket summary %s does not implement Merger", probe.Name())
+	}
+	m := &MultiRes{
+		factory: cfg.Factory,
+		name:    "MR-" + probe.Name(),
+		now:     cfg.Now,
+	}
+	spans := append([]time.Duration(nil), cfg.Horizons...)
+	sort.Slice(spans, func(i, j int) bool { return spans[i] < spans[j] })
+	for i, span := range spans {
+		if span < time.Duration(cfg.Blocks) {
+			return nil, fmt.Errorf("window: MultiRes horizon %v shorter than its block count", span)
+		}
+		if i > 0 && span == spans[i-1] {
+			return nil, fmt.Errorf("window: duplicate MultiRes horizon %v", span)
+		}
+		ehWindow := int64(span / time.Second)
+		if ehWindow < 1 {
+			ehWindow = 1
+		}
+		eh, err := NewEHistogram(ehWindow, cfg.Epsilon)
+		if err != nil {
+			return nil, err
+		}
+		r := &horizonRing{
+			span:    span,
+			block:   span / time.Duration(cfg.Blocks),
+			buckets: make([]core.Summary, cfg.Blocks),
+			blockNo: make([]int64, cfg.Blocks),
+			eh:      eh,
+		}
+		for j := range r.blockNo {
+			r.blockNo[j] = -1
+		}
+		m.rings = append(m.rings, r)
+	}
+	return m, nil
+}
+
+// bucket returns the ring's summary for the block containing t, creating
+// or recycling the slot as its span comes around.
+func (m *MultiRes) bucket(r *horizonRing, t time.Time) core.Summary {
+	blk := t.UnixNano() / int64(r.block)
+	slot := int(blk % int64(len(r.buckets)))
+	if r.blockNo[slot] != blk {
+		r.buckets[slot] = m.factory()
+		r.blockNo[slot] = blk
+	}
+	return r.buckets[slot]
+}
+
+// Update implements core.Summary: the arrival lands in every horizon's
+// current block.
+func (m *MultiRes) Update(x core.Item, count int64) {
+	t := m.now()
+	for _, r := range m.rings {
+		m.bucket(r, t).Update(x, count)
+		r.eh.AddAt(t.Unix(), count)
+	}
+	m.n += count
+}
+
+// UpdateBatch implements core.BatchUpdater: one bucket lookup and one
+// EHistogram bulk insert per horizon per batch.
+func (m *MultiRes) UpdateBatch(items []core.Item) {
+	if len(items) == 0 {
+		return
+	}
+	t := m.now()
+	for _, r := range m.rings {
+		core.UpdateAll(m.bucket(r, t), items)
+		r.eh.AddAt(t.Unix(), int64(len(items)))
+	}
+	m.n += int64(len(items))
+}
+
+// Horizons returns the configured spans, ascending.
+func (m *MultiRes) Horizons() []time.Duration {
+	out := make([]time.Duration, len(m.rings))
+	for i, r := range m.rings {
+		out[i] = r.span
+	}
+	return out
+}
+
+// HorizonView merges the named horizon's live buckets into an immutable
+// read view whose N is the horizon's event count: Query(φ·N) over the
+// view asks "heavy over the last d", the wall-clock analogue of the
+// windowed summary's WindowN threshold scaling. The view is built from
+// bucket snapshots, so it never mutates ring state — safe against a
+// shared serving snapshot.
+func (m *MultiRes) HorizonView(d time.Duration) (core.ReadView, error) {
+	for _, r := range m.rings {
+		if r.span == d {
+			return m.viewOf(r), nil
+		}
+	}
+	return nil, fmt.Errorf("window: horizon %v not configured (have %v)", d, m.Horizons())
+}
+
+func (m *MultiRes) viewOf(r *horizonRing) *HorizonView {
+	t := m.now()
+	cur := t.UnixNano() / int64(r.block)
+	oldest := cur - int64(len(r.buckets)) + 1
+	var merged core.Summary
+	for slot, blk := range r.blockNo {
+		if blk < oldest || blk > cur || r.buckets[slot] == nil {
+			continue
+		}
+		if merged == nil {
+			merged = r.buckets[slot].(core.Snapshotter).Snapshot()
+			continue
+		}
+		if err := merged.(core.Merger).Merge(r.buckets[slot]); err != nil {
+			// Same-factory buckets cannot mismatch; a failure here is a
+			// wiring bug, not an operational state.
+			panic(fmt.Sprintf("window: MultiRes bucket merge failed: %v", err))
+		}
+	}
+	if merged == nil {
+		merged = m.factory()
+	}
+	return &HorizonView{span: r.span, summary: merged, windowN: r.eh.CountAt(t.Unix())}
+}
+
+// HorizonView is the merged read view of one horizon.
+type HorizonView struct {
+	span    time.Duration
+	summary core.Summary
+	windowN int64
+}
+
+// N returns the horizon's estimated event count — the denominator for
+// φ·N thresholds at this horizon.
+func (v *HorizonView) N() int64 { return v.windowN }
+
+// WindowN mirrors N under the name the serving layer's threshold scaling
+// dispatches on.
+func (v *HorizonView) WindowN() int64 { return v.windowN }
+
+// Span returns the horizon this view covers.
+func (v *HorizonView) Span() time.Duration { return v.span }
+
+// Estimate returns the merged bucket summaries' estimate.
+func (v *HorizonView) Estimate(x core.Item) int64 { return v.summary.Estimate(x) }
+
+// Query returns the merged bucket summaries' report at threshold.
+func (v *HorizonView) Query(threshold int64) []core.ItemCount { return v.summary.Query(threshold) }
+
+// Summary exposes the merged summary so capability queries (HHH, range,
+// quantile) dispatch against horizon views too.
+func (v *HorizonView) Summary() core.Summary { return v.summary }
+
+// N implements core.Summary: the lifetime arrival count (horizon counts
+// come from HorizonView.N).
+func (m *MultiRes) N() int64 { return m.n }
+
+// Estimate implements core.Summary over the longest horizon.
+func (m *MultiRes) Estimate(x core.Item) int64 {
+	return m.viewOf(m.rings[len(m.rings)-1]).Estimate(x)
+}
+
+// Query implements core.Summary over the longest horizon.
+func (m *MultiRes) Query(threshold int64) []core.ItemCount {
+	return m.viewOf(m.rings[len(m.rings)-1]).Query(threshold)
+}
+
+// Name implements core.Summary: "MR-" plus the bucket algorithm code.
+func (m *MultiRes) Name() string { return m.name }
+
+// Bytes sums the live buckets and histograms.
+func (m *MultiRes) Bytes() int {
+	total := 0
+	for _, r := range m.rings {
+		for _, b := range r.buckets {
+			if b != nil {
+				total += b.Bytes()
+			}
+		}
+		total += r.eh.Bytes()
+	}
+	return total
+}
+
+// Clone returns an independent deep copy (the serving snapshot).
+func (m *MultiRes) Clone() *MultiRes {
+	nm := &MultiRes{
+		factory: m.factory,
+		n:       m.n,
+		name:    m.name,
+		now:     m.now,
+	}
+	for _, r := range m.rings {
+		nr := &horizonRing{
+			span:    r.span,
+			block:   r.block,
+			buckets: make([]core.Summary, len(r.buckets)),
+			blockNo: append([]int64(nil), r.blockNo...),
+			eh:      r.eh.Clone(),
+		}
+		for i, b := range r.buckets {
+			if b != nil {
+				nr.buckets[i] = b.(core.Snapshotter).Snapshot()
+			}
+		}
+		nm.rings = append(nm.rings, nr)
+	}
+	return nm
+}
+
+// Snapshot implements core.Snapshotter.
+func (m *MultiRes) Snapshot() core.Summary { return m.Clone() }
+
+// HorizonStats describes one horizon for /stats.
+type HorizonStats struct {
+	Span    time.Duration
+	WindowN int64
+	Buckets int
+}
+
+// Stats reports per-horizon serving state as of now.
+func (m *MultiRes) Stats() []HorizonStats {
+	t := m.now()
+	out := make([]HorizonStats, 0, len(m.rings))
+	for _, r := range m.rings {
+		cur := t.UnixNano() / int64(r.block)
+		oldest := cur - int64(len(r.buckets)) + 1
+		live := 0
+		for slot, blk := range r.blockNo {
+			if blk >= oldest && blk <= cur && r.buckets[slot] != nil {
+				live++
+			}
+		}
+		out = append(out, HorizonStats{Span: r.span, WindowN: r.eh.CountAt(t.Unix()), Buckets: live})
+	}
+	return out
+}

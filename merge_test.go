@@ -234,6 +234,94 @@ func TestMergeEncodedWindowed(t *testing.T) {
 	}
 }
 
+// TestMergeEncodedGK extends the merge wall to the quantile summary
+// (GK01): merging through blobs is byte-identical to merging the live
+// summaries, the merged summary stays ε₁n₁+ε₂n₂-approximate over the
+// union stream's ranks, and ε mismatches (a GK merge requires equal
+// error budgets) come back wrapping ErrIncompatible like any parameter
+// mismatch.
+func TestMergeEncodedGK(t *testing.T) {
+	const eps = 0.01
+	mkFed := func(seed uint64, n int) Summary {
+		s := NewQuantile(eps)
+		g, err := zipf.NewGenerator(1<<12, 1.1, seed, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		UpdateBatches(s, g.Stream(n), 777)
+		return s
+	}
+	a, b := mkFed(41, 18000), mkFed(43, 26000)
+	blobA, blobB := marshal(t, "GK/a", a), marshal(t, "GK/b", b)
+
+	merged, err := MergeEncoded(blobA, blobB)
+	if err != nil {
+		t.Fatalf("MergeEncoded: %v", err)
+	}
+	if merged.N() != a.N()+b.N() {
+		t.Fatalf("merged N = %d, want %d", merged.N(), a.N()+b.N())
+	}
+
+	// Wire fidelity: blob-merge ≡ live-merge, byte for byte.
+	direct := mkFed(41, 18000)
+	if err := direct.(Merger).Merge(mkFed(43, 26000)); err != nil {
+		t.Fatalf("direct merge: %v", err)
+	}
+	if got, want := marshal(t, "GK/merged", merged), marshal(t, "GK/direct", direct); string(got) != string(want) {
+		t.Fatalf("MergeEncoded and live Merge encode differently (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// Union rank accuracy: the merged median's rank over a reference
+	// union summary stays within the summed error budgets (checked via
+	// the quantile surface both daemons serve).
+	q, ok := merged.(interface {
+		QuantileQuery(float64) (uint64, error)
+	})
+	if !ok {
+		t.Fatalf("merged %T has no QuantileQuery", merged)
+	}
+	union := NewQuantile(eps)
+	g1, _ := zipf.NewGenerator(1<<12, 1.1, 41, true)
+	g2, _ := zipf.NewGenerator(1<<12, 1.1, 43, true)
+	UpdateBatches(union, g1.Stream(18000), 777)
+	UpdateBatches(union, g2.Stream(26000), 777)
+	for _, frac := range []float64{0.1, 0.5, 0.9} {
+		mv, err := q.QuantileQuery(frac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uv, err := union.QuantileQuery(frac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Both values approximate the same rank; their rank gap is
+		// bounded by the two summaries' combined ε budgets, so compare
+		// through the union summary's rank of each value.
+		loM, hiM := union.Rank(float64(mv))
+		loU, hiU := union.Rank(float64(uv))
+		slack := int64(3*eps*float64(union.N())) + 2
+		if loM-hiU > slack || loU-hiM > slack {
+			t.Errorf("q=%.1f: merged value %d (rank [%d,%d]) vs union value %d (rank [%d,%d]) beyond ±%d",
+				frac, mv, loM, hiM, uv, loU, hiU, slack)
+		}
+	}
+
+	// ε mismatch: refused, wrapping ErrIncompatible.
+	other := NewQuantile(2 * eps)
+	UpdateAll(other, zipf.Sequential(500))
+	if _, err := MergeEncoded(blobA, marshal(t, "GK/other", other)); err == nil {
+		t.Fatal("ε-mismatched GK MergeEncoded succeeded")
+	} else if !strings.Contains(err.Error(), "epsilon") {
+		t.Fatalf("mismatch error %q does not name the epsilon", err)
+	}
+	// Cross-family: a quantile blob never merges into a frequency one.
+	ssh := MustNew("SSH", 0.01, 1)
+	UpdateAll(ssh, zipf.Sequential(500))
+	if _, err := MergeEncoded(blobA, marshal(t, "ssh", ssh)); err == nil {
+		t.Fatal("GK+SSH MergeEncoded succeeded")
+	}
+}
+
 // TestMergeEncodedErrors: the coordinator-facing failure modes are
 // errors with useful text, never panics.
 func TestMergeEncodedErrors(t *testing.T) {

@@ -207,6 +207,22 @@ func TestCrashRecoverySharded(t *testing.T) {
 // bit-identically to a fresh window fed exactly the durable prefix —
 // including the blocks that expired before the crash, which are absent
 // from both.
+// TestCrashRecoveryGK runs the kill-at-arbitrary-offset property
+// through the quantile summary: the GK01 checkpoint carries the
+// compression phase (sinceCompress), so a recovered summary replaying
+// the WAL tail re-encodes bit-identically to a fresh summary fed
+// exactly the durable prefix — the same contract the frequency
+// summaries honour.
+func TestCrashRecoveryGK(t *testing.T) {
+	for round := uint64(0); round < 2; round++ {
+		t.Run(fmt.Sprintf("GK/tear-%d", round), func(t *testing.T) {
+			checkCrashRecovery(t, "GK", func() persist.Target {
+				return core.NewConcurrent(NewQuantile(0.01))
+			}, 0x6B17+round)
+		})
+	}
+}
+
 func TestCrashRecoveryWindowed(t *testing.T) {
 	for round := uint64(0); round < 2; round++ {
 		t.Run(fmt.Sprintf("SSW/tear-%d", round), func(t *testing.T) {

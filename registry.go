@@ -7,6 +7,7 @@ import (
 
 	"streamfreq/internal/core"
 	"streamfreq/internal/counters"
+	"streamfreq/internal/quantile"
 	"streamfreq/internal/sketches"
 	"streamfreq/internal/window"
 )
@@ -156,6 +157,12 @@ var decoders = map[string]func([]byte) (Summary, error){
 	// but a first-class wire citizen, so windowed checkpoints, /summary
 	// pulls, and cluster merges dispatch like any flat summary.
 	"WN01": func(b []byte) (Summary, error) { return window.DecodeWindowed(b) },
+	// GK01 is the Greenwald–Khanna quantile summary ("GK"), the same
+	// wire-citizen-not-roster arrangement as WN01: it answers rank/range
+	// queries rather than FrequentItems(φ) and is provisioned by ε, but
+	// its checkpoints, /summary pulls, and cluster merges dispatch
+	// through the generic machinery.
+	"GK01": func(b []byte) (Summary, error) { return quantile.DecodeGK(b) },
 }
 
 // The TK01 decoder recursively dispatches through Decode for the nested

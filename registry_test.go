@@ -9,7 +9,7 @@ import (
 // decoders table dispatches on, sorted.
 func TestSupportedMagics(t *testing.T) {
 	got := strings.Join(SupportedMagics(), " ")
-	want := "CG01 CM01 CS01 FQ01 HI01 LC01 SL01 SS01 TK01 WN01"
+	want := "CG01 CM01 CS01 FQ01 GK01 HI01 LC01 SL01 SS01 TK01 WN01"
 	if got != want {
 		t.Fatalf("SupportedMagics() = %q, want %q", got, want)
 	}

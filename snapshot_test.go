@@ -186,6 +186,10 @@ func TestSnapshotFidelityExtras(t *testing.T) {
 			}
 			return w
 		}},
+		// The GK quantile summary: deterministic insert/compress schedule,
+		// so the full fidelity check (clone tracks replay bit for bit)
+		// applies.
+		{"GK", false, func() Summary { return NewQuantile(0.01) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
