@@ -53,6 +53,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registered on DefaultServeMux, served only on -pprof
 	"os"
@@ -64,6 +65,7 @@ import (
 
 	"streamfreq"
 	"streamfreq/internal/core"
+	"streamfreq/internal/obs"
 	"streamfreq/internal/persist"
 	"streamfreq/internal/serve"
 	"streamfreq/internal/tenant"
@@ -120,12 +122,25 @@ func main() {
 		ckptEvery  = flag.Duration("checkpoint-every", time.Minute, "periodic checkpoint cadence (0 = only POST /checkpoint and shutdown)")
 		maxLag     = flag.Int64("max-lag", 0, "shed ingest (429) once the unsynced WAL lag exceeds this many items (0 = no shedding)")
 
+		logFormat = flag.String("log-format", "text", "structured log format: text | json")
+		slowQuery = flag.Duration("slow-query", 0, "log requests slower than this at warn level with per-stage timings (0 = off)")
+
 		tenants   = flag.Bool("tenants", false, "multi-tenant mode: namespaced summaries under /v1/t/{ns}/... on a shared slab (SSH only)")
 		tenantMax = flag.Int("tenant-max-resident", 4096, "resident-tenant bound; idle namespaces beyond it are evicted to compact blobs (0 = unbounded)")
 		tenantPhi = phiOverrides{}
 	)
 	flag.Var(tenantPhi, "tenant-phi", "per-namespace threshold override as ns=phi (repeatable); others use -phi")
 	flag.Parse()
+
+	o, err := obs.New(obs.Options{
+		Service:   "freqd",
+		LogFormat: *logFormat,
+		LogWriter: os.Stderr,
+		SlowQuery: *slowQuery,
+	})
+	if err != nil {
+		fatal(err)
+	}
 
 	var table *tenant.Table
 	if *tenants {
@@ -139,7 +154,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	target, store, label, err := buildTarget(*algo, *phi, *seed, *shards, *pipeline, *staleness,
+	target, store, label, err := buildTarget(o.Log, *algo, *phi, *seed, *shards, *pipeline, *staleness,
 		*windowLen, *windowB, spans, *horizonB, *dataDir, *fsyncMode, *fsyncEvery, table)
 	if err != nil {
 		fatal(err)
@@ -152,44 +167,44 @@ func main() {
 		runtime.SetMutexProfileFraction(5)
 		runtime.SetBlockProfileRate(100_000) // sample blocking events ≥100µs
 		go func() {
-			fmt.Printf("freqd: pprof on %s\n", *pprofAddr)
+			o.Log.Info("pprof listening", "addr", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "freqd: pprof:", err)
+				o.Log.Error("pprof server failed", "error", err)
 			}
 		}()
 	}
-	srv := serve.NewServer(serve.Options{Target: target, Algo: label, IngestBatch: *batch, Store: store, MaxLag: *maxLag, Epoch: *epoch, Tenants: table})
+	srv := serve.NewServer(serve.Options{Target: target, Algo: label, IngestBatch: *batch, Store: store, MaxLag: *maxLag, Epoch: *epoch, Tenants: table, Obs: o})
 
 	stop := make(chan struct{})
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		s := <-sig
-		fmt.Fprintf(os.Stderr, "freqd: %v, draining\n", s)
+		o.Log.Info("draining on signal", "signal", s.String())
 		close(stop)
 	}()
 
 	if store != nil && *ckptEvery > 0 {
-		go checkpointLoop(store, target.(persist.Target), *ckptEvery, stop)
+		go checkpointLoop(o.Log, store, target.(persist.Target), *ckptEvery, stop)
 	}
 
-	fmt.Printf("freqd: serving %s (phi=%g, shards=%d, staleness=%v", label, *phi, *shards, *staleness)
+	attrs := []any{"algo", label, "phi", *phi, "shards", *shards, "staleness", *staleness, "addr", *addr}
 	if table != nil {
-		fmt.Printf(", multi-tenant (max-resident=%d)", *tenantMax)
+		attrs = append(attrs, "tenants", true, "tenant_max_resident", *tenantMax)
 	}
 	if *pipeline {
-		fmt.Printf(", pipelined ingest")
+		attrs = append(attrs, "pipeline", true)
 	}
 	if *windowLen > 0 {
-		fmt.Printf(", window=%d/%d blocks", *windowLen, *windowB)
+		attrs = append(attrs, "window", *windowLen, "window_blocks", *windowB)
 	}
 	if len(spans) > 0 {
-		fmt.Printf(", horizons=%s/%d blocks", *horizons, *horizonB)
+		attrs = append(attrs, "horizons", *horizons, "horizon_blocks", *horizonB)
 	}
 	if store != nil {
-		fmt.Printf(", data-dir=%s, fsync=%s", *dataDir, *fsyncMode)
+		attrs = append(attrs, "data_dir", *dataDir, "fsync", *fsyncMode)
 	}
-	fmt.Printf(") on %s\n", *addr)
+	o.Log.Info("serving", attrs...)
 	err = srv.ListenAndServe(*addr, stop)
 	if store != nil {
 		// Flush a final checkpoint and seal the log: a clean shutdown
@@ -197,10 +212,10 @@ func main() {
 		// checkpoint barrier drains the staging rings first, so the
 		// checkpoint covers every acknowledged batch.
 		if _, cerr := store.Checkpoint(target.(persist.Target)); cerr != nil {
-			fmt.Fprintln(os.Stderr, "freqd: final checkpoint:", cerr)
+			o.Log.Error("final checkpoint failed", "error", cerr)
 		}
 		if cerr := store.Close(); cerr != nil {
-			fmt.Fprintln(os.Stderr, "freqd: closing log:", cerr)
+			o.Log.Error("closing log failed", "error", cerr)
 		}
 	}
 	if p, ok := target.(*core.Pipelined); ok {
@@ -214,7 +229,7 @@ func main() {
 // checkpointLoop checkpoints on a timer until stop closes. Failures are
 // logged and retried next tick; a persistent failure also latches the
 // store, which the serving layer surfaces by refusing ingest.
-func checkpointLoop(store *persist.Store, target persist.Target, every time.Duration, stop <-chan struct{}) {
+func checkpointLoop(log *slog.Logger, store *persist.Store, target persist.Target, every time.Duration, stop <-chan struct{}) {
 	t := time.NewTicker(every)
 	defer t.Stop()
 	for {
@@ -223,7 +238,7 @@ func checkpointLoop(store *persist.Store, target persist.Target, every time.Dura
 			return
 		case <-t.C:
 			if _, err := store.Checkpoint(target); err != nil {
-				fmt.Fprintln(os.Stderr, "freqd: checkpoint:", err)
+				log.Error("periodic checkpoint failed", "error", err)
 			}
 		}
 	}
@@ -302,7 +317,7 @@ func mustSummary(algo string, phi float64, seed uint64) core.Summary {
 	return s
 }
 
-func buildTarget(algo string, phi float64, seed uint64, shards int, pipeline bool, staleness time.Duration,
+func buildTarget(log *slog.Logger, algo string, phi float64, seed uint64, shards int, pipeline bool, staleness time.Duration,
 	windowLen, windowBlocks int, horizons []time.Duration, horizonBlocks int,
 	dataDir, fsyncMode string, fsyncEvery time.Duration, table *tenant.Table) (serve.Target, *persist.Store, string, error) {
 	probe, err := newSummary(algo, phi, seed) // validate algo/phi before wrapping
@@ -405,11 +420,11 @@ func buildTarget(algo string, phi float64, seed uint64, shards int, pipeline boo
 		if err != nil {
 			return nil, nil, "", fmt.Errorf("recovering %s: %w", dataDir, err)
 		}
-		fmt.Printf("freqd: recovered n=%d (checkpoint n=%d + %d WAL records", stats.RecoveredN, stats.CheckpointN, stats.ReplayedRecords)
-		if stats.TruncatedBytes > 0 {
-			fmt.Printf(", torn tail of %d bytes truncated", stats.TruncatedBytes)
-		}
-		fmt.Println(")")
+		log.Info("recovered",
+			"n", stats.RecoveredN,
+			"checkpoint_n", stats.CheckpointN,
+			"wal_records", stats.ReplayedRecords,
+			"truncated_bytes", stats.TruncatedBytes)
 		durable.PersistTo(store)
 	}
 

@@ -50,6 +50,7 @@ import (
 
 	"streamfreq"
 	"streamfreq/internal/cluster"
+	"streamfreq/internal/obs"
 	"streamfreq/internal/router"
 )
 
@@ -63,8 +64,19 @@ func main() {
 		algo      = flag.String("algo", "", "required algorithm code; empty adopts the first node's")
 		maxStale  = flag.Duration("max-stale", 0, "drop a node's contribution once its data is older than this (0 = serve stale forever)")
 		tenants   = flag.Bool("tenants", false, "pull /v1/tenants/summary bundles and merge namespace by namespace (nodes must run freqd -tenants)")
+		logFormat = flag.String("log-format", "text", "structured log format: text | json")
+		slowQuery = flag.Duration("slow-query", 0, "log requests slower than this at warn level with per-stage timings (0 = off)")
 	)
 	flag.Parse()
+	o, err := obs.New(obs.Options{
+		Service:   "freqmerge",
+		LogFormat: *logFormat,
+		LogWriter: os.Stderr,
+		SlowQuery: *slowQuery,
+	})
+	if err != nil {
+		fatal(err)
+	}
 	switch {
 	case *nodes == "" && *routerURL == "":
 		fatal(fmt.Errorf("-nodes or -router is required (e.g. -nodes http://host1:8080,http://host2:8080)"))
@@ -79,6 +91,7 @@ func main() {
 		MaxStale:     *maxStale,
 		TenantMerge:  *tenants,
 		MergeEncoded: streamfreq.MergeEncoded,
+		Obs:          o,
 	}
 	if *routerURL != "" {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -102,7 +115,7 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		s := <-sig
-		fmt.Fprintf(os.Stderr, "freqmerge: %v, draining\n", s)
+		o.Log.Info("draining on signal", "signal", s.String())
 		close(stop)
 	}()
 
@@ -111,14 +124,12 @@ func main() {
 		for _, sh := range opts.ShardMap.Shards {
 			replicas += len(sh.Replicas)
 		}
-		fmt.Printf("freqmerge: partition-exact over %d shards (%d replicas) every %v on %s\n",
-			len(opts.ShardMap.Shards), replicas, *interval, *addr)
+		o.Log.Info("serving partition-exact", "shards", len(opts.ShardMap.Shards),
+			"replicas", replicas, "interval", *interval, "addr", *addr)
 	} else if *tenants {
-		fmt.Printf("freqmerge: merging tenant bundles from %d nodes every %v on %s\n",
-			len(opts.Nodes), *interval, *addr)
+		o.Log.Info("serving tenant merge", "nodes", len(opts.Nodes), "interval", *interval, "addr", *addr)
 	} else {
-		fmt.Printf("freqmerge: aggregating %d nodes every %v on %s\n",
-			len(opts.Nodes), *interval, *addr)
+		o.Log.Info("serving", "nodes", len(opts.Nodes), "interval", *interval, "addr", *addr)
 	}
 	if err := coord.ListenAndServe(*addr, stop); err != nil && err != http.ErrServerClosed {
 		fatal(err)

@@ -43,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"streamfreq/internal/obs"
 	"streamfreq/internal/router"
 )
 
@@ -76,18 +77,29 @@ func (s *shardFlags) Set(v string) error {
 func main() {
 	var shards shardFlags
 	var (
-		addr    = flag.String("addr", ":8070", "listen address")
-		vnodes  = flag.Int("vnodes", 0, "virtual nodes per shard on the hash ring (0 = default)")
-		timeout = flag.Duration("timeout", 5*time.Second, "per-replica forward attempt timeout")
-		retries = flag.Int("retries", 2, "retries per replica before it is marked down")
-		backoff = flag.Duration("backoff", 50*time.Millisecond, "initial retry backoff (doubles per attempt)")
-		probe   = flag.Duration("probe", time.Second, "health-probe cadence for down replicas")
-		batch   = flag.Int("batch", 0, "ingest split batch length (0 = default)")
+		addr      = flag.String("addr", ":8070", "listen address")
+		vnodes    = flag.Int("vnodes", 0, "virtual nodes per shard on the hash ring (0 = default)")
+		timeout   = flag.Duration("timeout", 5*time.Second, "per-replica forward attempt timeout")
+		retries   = flag.Int("retries", 2, "retries per replica before it is marked down")
+		backoff   = flag.Duration("backoff", 50*time.Millisecond, "initial retry backoff (doubles per attempt)")
+		probe     = flag.Duration("probe", time.Second, "health-probe cadence for down replicas")
+		batch     = flag.Int("batch", 0, "ingest split batch length (0 = default)")
+		logFormat = flag.String("log-format", "text", "structured log format: text | json")
+		slowQuery = flag.Duration("slow-query", 0, "log requests slower than this at warn level with per-stage timings (0 = off)")
 	)
 	flag.Var(&shards, "shard", "shard declaration name=url1,url2,... (repeat per shard; required)")
 	flag.Parse()
 	if len(shards) == 0 {
 		fatal(fmt.Errorf("at least one -shard is required (e.g. -shard a=http://host1:8080,http://host2:8080)"))
+	}
+	o, err := obs.New(obs.Options{
+		Service:   "freqrouter",
+		LogFormat: *logFormat,
+		LogWriter: os.Stderr,
+		SlowQuery: *slowQuery,
+	})
+	if err != nil {
+		fatal(err)
 	}
 
 	rt, err := router.New(router.Options{
@@ -97,6 +109,7 @@ func main() {
 		Retries:     *retries,
 		Backoff:     *backoff,
 		IngestBatch: *batch,
+		Obs:         o,
 	})
 	if err != nil {
 		fatal(err)
@@ -107,7 +120,7 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		s := <-sig
-		fmt.Fprintf(os.Stderr, "freqrouter: %v, draining\n", s)
+		o.Log.Info("draining on signal", "signal", s.String())
 		close(stop)
 	}()
 
@@ -119,8 +132,8 @@ func main() {
 	for _, sc := range shards {
 		replicas += len(sc.Replicas)
 	}
-	fmt.Printf("freqrouter: routing over %d shards (%d replicas, %d vnodes) on %s\n",
-		rt.Ring().Shards(), replicas, rt.Ring().VNodes(), *addr)
+	o.Log.Info("routing", "shards", rt.Ring().Shards(), "replicas", replicas,
+		"vnodes", rt.Ring().VNodes(), "addr", *addr)
 	if err := rt.ListenAndServe(*addr, stop); err != nil && err != http.ErrServerClosed {
 		fatal(err)
 	}

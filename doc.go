@@ -155,6 +155,26 @@
 // WAL-recovers both under new epochs, and requires the merged N to
 // equal the acknowledged arrivals exactly.
 //
+// # Observability
+//
+// Every daemon carries one observability plane (internal/obs, zero
+// dependencies): GET /v1/metrics serves Prometheus text exposition —
+// atomic counters and gauges plus fixed-boundary log₂ latency
+// histograms, so hot-path instrumentation is an atomic add or two,
+// never a lock or an allocation. WAL fsync latency and lag, ingest
+// apply time, ring occupancy, snapshot age, tenant residency, per-
+// shard routing and replica health, and coordinator pull freshness
+// are all first-class series, with cardinality bounded by
+// construction (per-shard labels, never per-tenant or per-item).
+// Requests carry an X-Freq-Trace ID — adopted from the caller or
+// minted, echoed on the response, propagated across router forwards
+// and coordinator pulls — and every daemon logs structured log/slog
+// request records (-log-format text|json) where the same ID appears,
+// so one grep follows a request across the whole tier. A -slow-query
+// threshold upgrades slow requests to warnings with per-stage
+// timings. /stats stays the human-readable JSON view of the same
+// counters.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction results.
 package streamfreq

@@ -22,6 +22,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"streamfreq/internal/obs"
 )
 
 // Route declares one endpoint of a daemon's API for conformance
@@ -137,6 +139,41 @@ func Conform(t *testing.T, h http.Handler, routes []Route) {
 				checkEnvelope(t, resp, "DELETE "+p)
 			}
 		})
+	}
+}
+
+// ConformMetrics probes the Prometheus scrape contract on GET
+// /v1/metrics: a 200 with the text exposition content type, a body the
+// strict in-tree parser accepts (every series well-formed, histograms
+// cumulative), and — when want names are given — those families
+// present in the scrape. Daemons always register the endpoint through
+// serve.NewAPI, so every configuration runs through this.
+func ConformMetrics(t *testing.T, h http.Handler, want ...string) {
+	t.Helper()
+	resp := do(h, http.MethodGet, "/v1/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/metrics: status %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Errorf("GET /v1/metrics: Content-Type %q, want %q", ct, obs.ContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET /v1/metrics: reading body: %v", err)
+	}
+	fams, err := obs.ParseExposition(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("GET /v1/metrics: body is not valid exposition format: %v\n%s", err, body)
+	}
+	for name, f := range fams {
+		if len(f.Series) == 0 {
+			t.Errorf("family %s has a HELP/TYPE header but no samples", name)
+		}
+	}
+	for _, name := range want {
+		if _, ok := fams[name]; !ok {
+			t.Errorf("GET /v1/metrics: family %s missing from the scrape", name)
+		}
 	}
 }
 

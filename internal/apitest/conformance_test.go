@@ -28,6 +28,7 @@ import (
 // freqdRoutes is the node surface; tenant routes ride behind -tenants.
 var freqdRoutes = []apitest.Route{
 	{Method: http.MethodPost, Path: "/ingest", Aliases: []string{"/ingest"}},
+	{Method: http.MethodGet, Path: "/metrics"},
 	{Method: http.MethodGet, Path: "/topk", Aliases: []string{"/topk"}},
 	{Method: http.MethodGet, Path: "/estimate", Aliases: []string{"/estimate"}},
 	{Method: http.MethodGet, Path: "/summary", Aliases: []string{"/summary"}},
@@ -63,6 +64,11 @@ func TestFreqdConformance(t *testing.T) {
 	apitest.Conform(t, srv.Handler(), freqdRoutes)
 	apitest.ConformIngest(t, srv.Handler(), "/v1/ingest")
 	apitest.ConformIngest(t, srv.Handler(), "/ingest")
+	apitest.ConformMetrics(t, srv.Handler(),
+		"freq_http_request_seconds", "freq_http_requests_total",
+		"freq_build_info", "freq_uptime_seconds", "freq_stream_n",
+		"freq_ingest_batch_items", "freq_ingest_apply_seconds",
+		"freq_snapshot_age_seconds", "freq_snapshot_refreshes_total")
 }
 
 func TestFreqdTenantConformance(t *testing.T) {
@@ -70,6 +76,9 @@ func TestFreqdTenantConformance(t *testing.T) {
 	srv := serve.NewServer(serve.Options{Target: table, Algo: "SSH", Tenants: table})
 	apitest.Conform(t, srv.Handler(), append(freqdRoutes, freqdTenantRoutes...))
 	apitest.ConformIngest(t, srv.Handler(), "/v1/t/demo/ingest")
+	apitest.ConformMetrics(t, srv.Handler(),
+		"freq_tenants", "freq_tenants_resident", "freq_tenants_evictions_total",
+		"freq_tenants_slab_bytes")
 }
 
 func TestFreqmergeConformance(t *testing.T) {
@@ -78,6 +87,7 @@ func TestFreqmergeConformance(t *testing.T) {
 		{Method: http.MethodGet, Path: "/estimate", Aliases: []string{"/estimate"}},
 		{Method: http.MethodGet, Path: "/summary", Aliases: []string{"/summary"}},
 		{Method: http.MethodGet, Path: "/stats", Aliases: []string{"/stats"}},
+		{Method: http.MethodGet, Path: "/metrics"},
 		{Method: http.MethodPost, Path: "/refresh", Aliases: []string{"/refresh"}},
 		// POST /ingest answers 501 by design — present, enveloped, not a 404.
 		{Method: http.MethodPost, Path: "/ingest", Aliases: []string{"/ingest"}},
@@ -100,12 +110,16 @@ func TestFreqmergeConformance(t *testing.T) {
 	}
 	coord.PullAll(context.Background())
 	apitest.Conform(t, coord.Handler(), routes)
+	apitest.ConformMetrics(t, coord.Handler(),
+		"freq_pull_seconds", "freq_merges_total", "freq_merged_n",
+		"freq_cluster_nodes", "freq_merge_age_seconds")
 }
 
 func TestFreqmergeTenantConformance(t *testing.T) {
 	routes := []apitest.Route{
 		{Method: http.MethodGet, Path: "/topk", Aliases: []string{"/topk"}},
 		{Method: http.MethodGet, Path: "/stats", Aliases: []string{"/stats"}},
+		{Method: http.MethodGet, Path: "/metrics"},
 		{Method: http.MethodGet, Path: "/t/demo/topk"},
 		{Method: http.MethodGet, Path: "/t/demo/estimate"},
 		{Method: http.MethodGet, Path: "/tenants"},
@@ -126,12 +140,15 @@ func TestFreqmergeTenantConformance(t *testing.T) {
 	}
 	coord.PullAll(context.Background())
 	apitest.Conform(t, coord.Handler(), routes)
+	apitest.ConformMetrics(t, coord.Handler(),
+		"freq_pull_seconds", "freq_merges_total", "freq_cluster_nodes")
 }
 
 func TestFreqrouterConformance(t *testing.T) {
 	routes := []apitest.Route{
 		{Method: http.MethodPost, Path: "/ingest", Aliases: []string{"/ingest"}},
 		{Method: http.MethodGet, Path: "/stats", Aliases: []string{"/stats"}},
+		{Method: http.MethodGet, Path: "/metrics"},
 		{Method: http.MethodGet, Path: "/shardmap", Aliases: []string{"/shardmap"}},
 		{Method: http.MethodPost, Path: "/probe", Aliases: []string{"/probe"}},
 	}
@@ -150,6 +167,10 @@ func TestFreqrouterConformance(t *testing.T) {
 	apitest.Conform(t, rt.Handler(), routes)
 	apitest.ConformIngest(t, rt.Handler(), "/v1/ingest")
 	apitest.ConformIngest(t, rt.Handler(), "/ingest")
+	apitest.ConformMetrics(t, rt.Handler(),
+		"freq_router_shard_routed_items_total", "freq_router_shard_shed_items_total",
+		"freq_router_replicas_up", "freq_router_replica_restarts_total",
+		"freq_http_request_seconds", "freq_uptime_seconds")
 }
 
 // TestFreqdRichQueryConformance runs the node contract with the rich

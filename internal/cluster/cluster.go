@@ -40,6 +40,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -48,7 +49,7 @@ import (
 	"time"
 
 	"streamfreq/internal/core"
-	"streamfreq/internal/metrics"
+	"streamfreq/internal/obs"
 	"streamfreq/internal/router"
 	"streamfreq/internal/serve"
 )
@@ -115,6 +116,10 @@ type Options struct {
 	// router.NewHTTPClient(Timeout), the shared intra-cluster transport
 	// config; Timeout is applied per request either way).
 	Client *http.Client
+	// Obs is the observability plane: metric registry, structured
+	// logger, slow-query threshold. Defaults to obs.Discard
+	// ("freqmerge") — metrics still accumulate, logs go nowhere.
+	Obs *obs.Obs
 }
 
 // nodeState is the coordinator's view of one freqd node. All fields are
@@ -170,7 +175,9 @@ type Coordinator struct {
 	client   *http.Client
 	merge    func(blobs ...[]byte) (core.Summary, error)
 	epoch    uint64
-	meter    *metrics.Meter
+	obs      *obs.Obs
+	counters *obs.Set
+	pullH    *obs.Histogram
 	start    time.Time
 
 	tenanted bool // pull and merge per-namespace tenant bundles
@@ -214,6 +221,9 @@ func New(opts Options) (*Coordinator, error) {
 	if opts.Epoch == 0 {
 		opts.Epoch = uint64(time.Now().UnixNano())
 	}
+	if opts.Obs == nil {
+		opts.Obs = obs.Discard("freqmerge")
+	}
 	c := &Coordinator{
 		interval: opts.Interval,
 		timeout:  opts.Timeout,
@@ -223,7 +233,8 @@ func New(opts Options) (*Coordinator, error) {
 		epoch:    opts.Epoch,
 		algo:     opts.Algo,
 		tenanted: opts.TenantMerge,
-		meter:    metrics.NewMeter(),
+		obs:      opts.Obs,
+		counters: obs.NewSet(opts.Obs.Reg, "freq"),
 		start:    time.Now(),
 	}
 	seen := make(map[string]bool)
@@ -259,6 +270,7 @@ func New(opts Options) (*Coordinator, error) {
 				}
 			}
 		}
+		c.bindMetrics()
 		return c, nil
 	}
 	for _, u := range opts.Nodes {
@@ -266,7 +278,72 @@ func New(opts Options) (*Coordinator, error) {
 			return nil, err
 		}
 	}
+	c.bindMetrics()
 	return c, nil
+}
+
+// bindMetrics registers the coordinator's scrape-time collectors: pull
+// latency plus merge/staleness gauges mirroring the cluster section of
+// /stats. Called once from New; per-node rows stay out of the metric
+// space (node URLs are unbounded label values), the aggregate health
+// counts carry the signal.
+func (c *Coordinator) bindMetrics() {
+	reg := c.obs.Reg
+	c.pullH = reg.Histogram("freq_pull_seconds",
+		"Latency of one node summary pull (request, read, decode).", obs.LatencyOpts())
+	reg.CounterFunc("freq_merges_total", "Merged-view rebuilds published.",
+		func() float64 { return float64(c.merges.Load()) })
+	reg.GaugeFunc("freq_merge_age_seconds", "Age of the serving merged view.",
+		func() float64 {
+			if v := c.merged.Load(); v != nil {
+				return time.Since(v.builtAt).Seconds()
+			}
+			return 0
+		})
+	reg.GaugeFunc("freq_merged_n", "Stream position of the merged serving view.",
+		func() float64 { return float64(c.N()) })
+	reg.GaugeFunc("freq_cluster_nodes", "Nodes (or shard replicas) the coordinator pulls.",
+		func() float64 { return float64(len(c.nodes)) })
+	reg.GaugeFunc("freq_cluster_fresh_nodes", "Nodes fresh in the serving view.",
+		func() float64 {
+			if v := c.merged.Load(); v != nil {
+				return float64(v.fresh)
+			}
+			return 0
+		})
+	reg.GaugeFunc("freq_cluster_have_nodes", "Nodes contributing to the serving view (fresh or stale).",
+		func() float64 {
+			if v := c.merged.Load(); v != nil {
+				return float64(v.have)
+			}
+			return 0
+		})
+	reg.GaugeFunc("freq_cluster_dropped_nodes", "Nodes excluded from the serving view by the -max-stale bound.",
+		func() float64 {
+			if v := c.merged.Load(); v != nil {
+				return float64(v.dropped)
+			}
+			return 0
+		})
+	reg.GaugeFunc("freq_cluster_missing_shards", "Shards with no usable contribution (partitioned mode).",
+		func() float64 {
+			if v := c.merged.Load(); v != nil {
+				return float64(v.missing)
+			}
+			return 0
+		})
+	reg.CounterFunc("freq_node_restarts_total", "Node process restarts observed across pulls (epoch changes).",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			var n int64
+			for _, ns := range c.nodes {
+				n += ns.restarts
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("freq_uptime_seconds", "Seconds since process start.",
+		func() float64 { return time.Since(c.start).Seconds() })
 }
 
 // pullNode fetches one node's /summary and returns the decoded summary
@@ -276,11 +353,17 @@ func New(opts Options) (*Coordinator, error) {
 // happens exactly once per pull: the summary (not the blob) is what
 // the coordinator retains and merges.
 func (c *Coordinator) pullNode(ctx context.Context, ns *nodeState) (sum core.Summary, epoch uint64, err error) {
+	defer c.pullH.ObserveSince(time.Now())
 	ctx, cancel := context.WithTimeout(ctx, c.timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ns.url+"/summary", nil)
 	if err != nil {
 		return nil, 0, err
+	}
+	// Tag the pull with the round's trace ID so one coordinator round is
+	// correlatable across its own log line and every node's request log.
+	if tid := obs.TraceFrom(ctx); tid != "" {
+		req.Header.Set(obs.TraceHeader, tid)
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {
@@ -316,6 +399,13 @@ func (c *Coordinator) pullNode(ctx context.Context, ns *nodeState) (sum core.Sum
 // merged-view rebuild from the latest good blobs. It is what Run calls
 // on each tick, exposed for deterministic tests and POST /refresh.
 func (c *Coordinator) PullAll(ctx context.Context) {
+	// One trace ID per pull round: forwarded on every node request (and
+	// logged by the nodes), so a round's fan-out is one grep away. A
+	// caller-supplied trace (POST /refresh) wins over a fresh mint.
+	if obs.TraceFrom(ctx) == "" {
+		ctx = obs.WithTrace(ctx, obs.NewTraceID())
+	}
+	tid := obs.TraceFrom(ctx)
 	var wg sync.WaitGroup
 	for _, ns := range c.nodes {
 		wg.Add(1)
@@ -332,7 +422,9 @@ func (c *Coordinator) PullAll(ctx context.Context) {
 			if err != nil {
 				ns.failures++
 				ns.lastErr = err.Error()
-				c.meter.Add("pulls.failed", 1)
+				c.counters.Add("pulls.failed", 1)
+				c.obs.Log.LogAttrs(ctx, slog.LevelWarn, "pull failed",
+					slog.String("trace", tid), slog.String("node", ns.url), slog.String("error", err.Error()))
 				return
 			}
 			algo := sum.Name()
@@ -342,7 +434,7 @@ func (c *Coordinator) PullAll(ctx context.Context) {
 			if algo != c.algo {
 				ns.failures++
 				ns.lastErr = fmt.Sprintf("algorithm mismatch: node serves %s, cluster is %s", algo, c.algo)
-				c.meter.Add("pulls.mismatched", 1)
+				c.counters.Add("pulls.mismatched", 1)
 				return
 			}
 			if ns.epoch != 0 && epoch != ns.epoch {
@@ -351,13 +443,16 @@ func (c *Coordinator) PullAll(ctx context.Context) {
 				// the wholesale replacement below is exactly right; the
 				// counter makes the restart visible to operators.
 				ns.restarts++
-				c.meter.Add("nodes.restarts", 1)
+				c.counters.Add("nodes.restarts", 1)
+				c.obs.Log.LogAttrs(ctx, slog.LevelInfo, "node restarted",
+					slog.String("trace", tid), slog.String("node", ns.url),
+					slog.Uint64("old_epoch", ns.epoch), slog.Uint64("new_epoch", epoch))
 			}
 			ns.sum, ns.n, ns.epoch, ns.algo = sum, sum.N(), epoch, algo
 			ns.lastPull = time.Now()
 			ns.pulls++
 			ns.lastErr = ""
-			c.meter.Add("pulls.ok", 1)
+			c.counters.Add("pulls.ok", 1)
 		}(ns)
 	}
 	wg.Wait()
@@ -422,7 +517,7 @@ func (c *Coordinator) rebuild() {
 			c.mu.Unlock()
 			c.merged.Store(&mergedView{builtAt: time.Now(), dropped: dropped})
 			c.merges.Add(1)
-			c.meter.Add("merges.ok", 1)
+			c.counters.Add("merges.ok", 1)
 		}
 		return
 	}
@@ -431,13 +526,13 @@ func (c *Coordinator) rebuild() {
 	defer c.mu.Unlock()
 	if err != nil {
 		c.mergeErr = err.Error()
-		c.meter.Add("merges.failed", 1)
+		c.counters.Add("merges.failed", 1)
 		return
 	}
 	c.mergeErr = ""
 	c.merged.Store(&mergedView{view: merged, builtAt: time.Now(), fresh: fresh, have: have, dropped: dropped})
 	c.merges.Add(1)
-	c.meter.Add("merges.ok", 1)
+	c.counters.Add("merges.ok", 1)
 }
 
 // rebuildPartitioned publishes a PartitionedView: per shard, the
@@ -498,7 +593,7 @@ func (c *Coordinator) rebuildPartitioned() {
 		fresh:   fresh, have: have, dropped: dropped, missing: missing,
 	})
 	c.merges.Add(1)
-	c.meter.Add("merges.ok", 1)
+	c.counters.Add("merges.ok", 1)
 }
 
 // mergeSummaries folds the per-node summaries into one independent
@@ -673,6 +768,7 @@ func (c *Coordinator) Stats() Stats {
 	return st
 }
 
-// Meter exposes the coordinator's traffic counters (shared with the
-// HTTP handler so /stats reports query traffic like a node does).
-func (c *Coordinator) Meter() *metrics.Meter { return c.meter }
+// Counters exposes the coordinator's traffic counter set (shared with
+// the HTTP handler so /stats reports query traffic like a node does,
+// and scrapeable as freq_*_total series on /v1/metrics).
+func (c *Coordinator) Counters() *obs.Set { return c.counters }

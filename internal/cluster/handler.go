@@ -32,8 +32,8 @@ func (c *Coordinator) Handler() http.Handler { return c.API().Handler() }
 // docs test can diff the README API-reference table against the live
 // mux, exactly as it does for a node.
 func (c *Coordinator) API() *serve.API {
-	q := &serve.QueryHandlers{View: c.ServingView, Meter: c.meter}
-	api := serve.NewAPI()
+	q := &serve.QueryHandlers{View: c.ServingView, Counters: c.counters}
+	api := serve.NewAPI(c.obs)
 	api.Route("GET", "/topk", q.TopK, "/topk")
 	api.Route("GET", "/estimate", q.Estimate, "/estimate")
 	// The rich query surface dispatches on the merged summary's
@@ -77,7 +77,7 @@ func (c *Coordinator) handleSummary(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
 	algo := c.algo
 	c.mu.Unlock()
-	c.meter.Add("summary.pulls", 1)
+	c.counters.Add("summary.pulls", 1)
 	serve.WriteSummary(w, algo, c.epoch, sum)
 }
 
@@ -109,7 +109,7 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 		"n":         st.MergedN,
 		"epoch":     st.Epoch,
 		"uptime_ms": st.Uptime.Milliseconds(),
-		"counters":  c.meter.Snapshot(),
+		"counters":  c.counters.Snapshot(),
 		"cluster": map[string]any{
 			"nodes":          nodes,
 			"merges":         st.Merges,
@@ -130,7 +130,7 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 // get deterministic freshness the way a node's /refresh re-snapshots.
 func (c *Coordinator) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	c.PullAll(r.Context())
-	c.meter.Add("refresh.forced", 1)
+	c.counters.Add("refresh.forced", 1)
 	serve.WriteJSON(w, http.StatusOK, map[string]int64{"n": c.N()})
 }
 

@@ -30,6 +30,7 @@ import (
 	"streamfreq/internal/core"
 	"streamfreq/internal/exact"
 	"streamfreq/internal/metrics"
+	"streamfreq/internal/obs"
 	"streamfreq/internal/router"
 	"streamfreq/internal/stream"
 	"streamfreq/internal/zipf"
@@ -195,6 +196,107 @@ func TestRouterKillRecover(t *testing.T) {
 	for _, pos := range [][2]int{{0, 0}, {1, 1}, {2, 0}, {2, 1}} {
 		if rep := sm.Shards[pos[0]].Replicas[pos[1]]; rep.Restarts != 0 {
 			t.Fatalf("surviving replica shard%d[%d] shows %d restarts, want 0", pos[0], pos[1], rep.Restarts)
+		}
+	}
+
+	// The split observability counters tell the same chaos story with
+	// exact numbers: each killed replica fails one forward (burning the
+	// single configured retry — 503 is retryable) and is marked down on
+	// that failure, then the post-recovery probe re-adopts both. Nothing
+	// sheds and every arrival is counted routed exactly once.
+	ctrs := rt.Counters()
+	for key, want := range map[string]int64{
+		"router.down_marks":   2, // two live→down transitions, one per kill
+		"router.readoptions":  2, // two down→live transitions, both from the probe
+		"router.retries":      2, // Retries:1 burned once per killed replica
+		"router.shed_items":   0, // every shard kept a survivor
+		"router.routed_items": int64(streamN),
+	} {
+		if got := ctrs.Get(key); got != want {
+			t.Errorf("%s = %d, want %d", key, got, want)
+		}
+	}
+
+	// And the same numbers are scrapeable: the router's /v1/metrics
+	// exposition carries the split series plus the per-shard restart
+	// counters, summing to the two observed restarts.
+	mresp, err := http.Get(rs.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParseExposition(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatalf("router /v1/metrics did not parse: %v", err)
+	}
+	for fam, want := range map[string]float64{
+		"freq_router_down_marks_total":  2,
+		"freq_router_readoptions_total": 2,
+		"freq_router_retries_total":     2,
+		"freq_router_shed_items_total":  0,
+	} {
+		f, ok := fams[fam]
+		if !ok {
+			t.Errorf("family %s missing from the router scrape", fam)
+			continue
+		}
+		var sum float64
+		for _, s := range f.Series {
+			sum += s.Value
+		}
+		if sum != want {
+			t.Errorf("scraped %s = %v, want %v", fam, sum, want)
+		}
+	}
+	restarts, ok := fams["freq_router_replica_restarts_total"]
+	if !ok {
+		t.Fatalf("freq_router_replica_restarts_total missing from the router scrape")
+	}
+	var restartSum float64
+	shardsSeen := map[string]bool{}
+	for _, s := range restarts.Series {
+		restartSum += s.Value
+		shardsSeen[s.Labels["shard"]] = true
+	}
+	if restartSum != 2 || len(shardsSeen) != shards {
+		t.Fatalf("scraped replica restarts: sum=%v across %d shards, want 2 across %d",
+			restartSum, len(shardsSeen), shards)
+	}
+
+	// A durable replica's own scrape carries the WAL series, populated
+	// by the chaos workload: FsyncAlways means every forwarded batch
+	// fsynced, so the survivor of shard 0 has non-zero fsync and append
+	// activity and zero unsynced lag.
+	wresp, err := http.Get(cfgs[0].Replicas[0] + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wfams, err := obs.ParseExposition(wresp.Body)
+	wresp.Body.Close()
+	if err != nil {
+		t.Fatalf("replica /v1/metrics did not parse: %v", err)
+	}
+	for _, fam := range []string{
+		"freq_wal_append_seconds", "freq_wal_fsync_seconds",
+		"freq_wal_fsyncs_total", "freq_wal_durable_n", "freq_wal_lag_items",
+	} {
+		if _, ok := wfams[fam]; !ok {
+			t.Errorf("family %s missing from the durable replica scrape", fam)
+		}
+	}
+	for fam, positive := range map[string]bool{
+		"freq_wal_fsyncs_total": true,
+		"freq_wal_durable_n":    true,
+		"freq_wal_lag_items":    false,
+	} {
+		f := wfams[fam]
+		if f == nil || len(f.Series) == 0 {
+			continue // already reported missing above
+		}
+		if v := f.Series[0].Value; positive && v <= 0 {
+			t.Errorf("scraped %s = %v, want > 0 after the durable workload", fam, v)
+		} else if !positive && v != 0 {
+			t.Errorf("scraped %s = %v, want 0 (FsyncAlways leaves no unsynced lag)", fam, v)
 		}
 	}
 

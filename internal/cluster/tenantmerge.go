@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"streamfreq/internal/core"
+	"streamfreq/internal/obs"
 	"streamfreq/internal/serve"
 	"streamfreq/internal/tenant"
 )
@@ -39,7 +40,7 @@ func (c *Coordinator) pullTenantInto(ctx context.Context, ns *nodeState) {
 	if err != nil {
 		ns.failures++
 		ns.lastErr = err.Error()
-		c.meter.Add("pulls.failed", 1)
+		c.counters.Add("pulls.failed", 1)
 		return
 	}
 	var total int64
@@ -51,14 +52,14 @@ func (c *Coordinator) pullTenantInto(ctx context.Context, ns *nodeState) {
 		if algo != c.algo {
 			ns.failures++
 			ns.lastErr = fmt.Sprintf("algorithm mismatch in namespace %q: node serves %s, cluster is %s", nsName, algo, c.algo)
-			c.meter.Add("pulls.mismatched", 1)
+			c.counters.Add("pulls.mismatched", 1)
 			return
 		}
 		total += sum.N()
 	}
 	if ns.epoch != 0 && epoch != ns.epoch {
 		ns.restarts++
-		c.meter.Add("nodes.restarts", 1)
+		c.counters.Add("nodes.restarts", 1)
 	}
 	ns.tenantSums, ns.n, ns.epoch = sums, total, epoch
 	ns.sum = sums[""] // the default namespace backs the un-namespaced view
@@ -70,16 +71,20 @@ func (c *Coordinator) pullTenantInto(ctx context.Context, ns *nodeState) {
 	ns.lastPull = time.Now()
 	ns.pulls++
 	ns.lastErr = ""
-	c.meter.Add("pulls.ok", 1)
+	c.counters.Add("pulls.ok", 1)
 }
 
 // pullTenantBundle fetches and decodes one node's namespace bundle.
 func (c *Coordinator) pullTenantBundle(ctx context.Context, ns *nodeState) (map[string]core.Summary, uint64, error) {
+	defer c.pullH.ObserveSince(time.Now())
 	ctx, cancel := context.WithTimeout(ctx, c.timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ns.url+"/v1/tenants/summary", nil)
 	if err != nil {
 		return nil, 0, err
+	}
+	if tid := obs.TraceFrom(ctx); tid != "" {
+		req.Header.Set(obs.TraceHeader, tid)
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {
@@ -157,7 +162,7 @@ func (c *Coordinator) rebuildTenants() {
 			c.mu.Lock()
 			c.mergeErr = fmt.Sprintf("namespace %q: %v", name, err)
 			c.mu.Unlock()
-			c.meter.Add("merges.failed", 1)
+			c.counters.Add("merges.failed", 1)
 			return
 		}
 		merged[name] = m
@@ -171,7 +176,7 @@ func (c *Coordinator) rebuildTenants() {
 	}
 	c.merged.Store(mv)
 	c.merges.Add(1)
-	c.meter.Add("merges.ok", 1)
+	c.counters.Add("merges.ok", 1)
 }
 
 // mergedTenant returns the current merged view of one namespace.
@@ -192,7 +197,7 @@ func (c *Coordinator) handleTenantTopK(w http.ResponseWriter, r *http.Request) {
 		serve.HTTPError(w, http.StatusNotFound, "namespace %q has no merged data on this coordinator", name)
 		return
 	}
-	q := serve.QueryHandlers{View: func() core.ReadView { return sum }, Meter: c.meter}
+	q := serve.QueryHandlers{View: func() core.ReadView { return sum }, Counters: c.counters}
 	q.TopK(w, r)
 }
 
@@ -205,7 +210,7 @@ func (c *Coordinator) handleTenantEstimate(w http.ResponseWriter, r *http.Reques
 		serve.HTTPError(w, http.StatusNotFound, "namespace %q has no merged data on this coordinator", name)
 		return
 	}
-	q := serve.QueryHandlers{View: func() core.ReadView { return sum }, Meter: c.meter}
+	q := serve.QueryHandlers{View: func() core.ReadView { return sum }, Counters: c.counters}
 	q.Estimate(w, r)
 }
 

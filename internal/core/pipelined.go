@@ -645,19 +645,36 @@ type PipelineStats struct {
 	AppliedN int64
 	// RingBytes is the staging rings' retained buffer capacity.
 	RingBytes int
+	// RingOccupancy is the total in-flight slot count across rings —
+	// positions claimed by writers and not yet released by drainers
+	// (the drainer lag in positions); ShardOccupancy breaks it out per
+	// shard.
+	RingOccupancy  int64
+	ShardOccupancy []int64
 }
 
 // PipelineStats reports the plane's claimed/applied positions and
 // staging footprint.
 func (p *Pipelined) PipelineStats() PipelineStats {
 	st := PipelineStats{
-		Shards:       len(p.shards),
-		RingCapacity: p.rings[0].Cap(),
-		ClaimedN:     p.claimedN.Load(),
-		AppliedN:     p.appliedN(),
+		Shards:         len(p.shards),
+		RingCapacity:   p.rings[0].Cap(),
+		ClaimedN:       p.claimedN.Load(),
+		AppliedN:       p.appliedN(),
+		ShardOccupancy: make([]int64, len(p.rings)),
 	}
-	for _, r := range p.rings {
+	cursor := p.cursor.Load()
+	for i, r := range p.rings {
 		st.RingBytes += int(r.Retained()) * 8
+		// Reads race benignly: the gauge wants a recent value, not a
+		// barrier. Clamp at zero in case released advanced past the
+		// cursor snapshot between the two loads.
+		occ := int64(cursor) - int64(r.Released())
+		if occ < 0 {
+			occ = 0
+		}
+		st.ShardOccupancy[i] = occ
+		st.RingOccupancy += occ
 	}
 	return st
 }

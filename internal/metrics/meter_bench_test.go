@@ -1,0 +1,27 @@
+package metrics
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkMeterContention measures the mutex-serialized Meter.Add
+// under concurrent callers — the hot-path contention that pushed the
+// query and ingest paths onto internal/obs atomic counters (obs's
+// BenchmarkSetAdd is the lock-free counterpart on the same access
+// pattern). The Meter itself stays for the offline harness, where a
+// single goroutine owns it and the mutex never contends.
+func BenchmarkMeterContention(b *testing.B) {
+	for _, procs := range []int{1, 4} {
+		b.Run(fmt.Sprintf("goroutines=%d", procs), func(b *testing.B) {
+			m := NewMeter()
+			b.SetParallelism(procs)
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					m.Add("queries.topk", 1)
+				}
+			})
+		})
+	}
+}

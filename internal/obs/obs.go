@@ -1,0 +1,62 @@
+package obs
+
+// Obs bundles one daemon's observability plane: the metric registry
+// behind GET /v1/metrics, the structured logger, and the slow-query
+// threshold. Every daemon builds exactly one and threads it through
+// its server; libraries that receive none fall back to Discard.
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"time"
+)
+
+// Options configures New.
+type Options struct {
+	Service   string        // "freqd", "freqmerge", "freqrouter" — stamped on log lines
+	LogFormat string        // "text" (default) or "json"
+	LogWriter io.Writer     // defaults to io.Discard; daemons pass os.Stderr
+	LogLevel  slog.Leveler  // defaults to slog.LevelInfo
+	SlowQuery time.Duration // ≤0 disables the slow-request log
+}
+
+// Obs is one daemon's observability plane.
+type Obs struct {
+	Reg       *Registry
+	Log       *slog.Logger
+	Service   string
+	SlowQuery time.Duration
+}
+
+// New builds a plane with a fresh registry and a slog logger in the
+// requested format. The only error is an unknown LogFormat.
+func New(o Options) (*Obs, error) {
+	w := o.LogWriter
+	if w == nil {
+		w = io.Discard
+	}
+	hopts := &slog.HandlerOptions{Level: o.LogLevel}
+	var h slog.Handler
+	switch o.LogFormat {
+	case "", "text":
+		h = slog.NewTextHandler(w, hopts)
+	case "json":
+		h = slog.NewJSONHandler(w, hopts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", o.LogFormat)
+	}
+	logger := slog.New(h)
+	if o.Service != "" {
+		logger = logger.With("service", o.Service)
+	}
+	return &Obs{Reg: NewRegistry(), Log: logger, Service: o.Service, SlowQuery: o.SlowQuery}, nil
+}
+
+// Discard returns a plane with a working (scrapeable) registry and a
+// logger that writes nowhere — the default inside libraries when the
+// caller supplies no plane, so instrumentation code never nil-checks.
+func Discard(service string) *Obs {
+	o, _ := New(Options{Service: service})
+	return o
+}

@@ -1,0 +1,62 @@
+package obs_test
+
+// Daemon code logs through the structured plane or not at all: a
+// stray log.Printf or fmt.Println in a serving path bypasses the
+// format flag, the service attribution, and the trace field, and
+// corrupts machine-parsed JSON log streams. This lint walks every
+// daemon package and fails on the printing idioms. fmt.Fprint* to an
+// explicit writer stays allowed (fatal() writing os.Stderr before the
+// logger exists, handlers writing response bodies); the offline CLIs
+// (freqgen, freqtop, freqbench, benchjson) are human-facing stdout
+// tools and are deliberately out of scope.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNoStrayPrintsInDaemonCode(t *testing.T) {
+	daemonDirs := []string{
+		"../../cmd/freqd",
+		"../../cmd/freqmerge",
+		"../../cmd/freqrouter",
+		"../../internal/serve",
+		"../../internal/router",
+		"../../internal/cluster",
+		"../../internal/persist",
+		"../../internal/obs",
+		"../../internal/tenant",
+	}
+	banned := []string{"log.Print", "fmt.Print"}
+	checked := 0
+	for _, dir := range daemonDirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading %s: %v", dir, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checked++
+			for i, ln := range strings.Split(string(src), "\n") {
+				for _, bad := range banned {
+					if strings.Contains(ln, bad) {
+						t.Errorf("%s:%d: %s in daemon code — use the obs structured logger", path, i+1, bad)
+					}
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("lint walked zero files — directory layout changed?")
+	}
+}

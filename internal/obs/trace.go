@@ -1,0 +1,115 @@
+package obs
+
+// Request tracing: a 16-hex-digit ID minted at the edge (router or
+// whichever daemon first sees the request), carried on the
+// X-Freq-Trace header across router→replica forwards and
+// freqmerge→node pulls, and attached to every structured log line.
+// Inside a process the ID rides the context, alongside a per-request
+// stage recorder feeding the slow-query log.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader is the HTTP header carrying the trace ID between
+// daemons.
+const TraceHeader = "X-Freq-Trace"
+
+var traceSeed = func() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return uint64(time.Now().UnixNano())
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}()
+
+var traceCounter atomic.Uint64
+
+// NewTraceID mints a process-unique 16-hex-digit ID: a per-process
+// random seed mixed with an atomic counter (splitmix64 finalizer), so
+// minting is allocation-light and never blocks on entropy.
+func NewTraceID() string {
+	x := traceSeed + traceCounter.Add(1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return fmt.Sprintf("%016x", x)
+}
+
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	stagesKey
+)
+
+// WithTrace stores a trace ID on the context.
+func WithTrace(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey, id)
+}
+
+// TraceFrom returns the context's trace ID, or "".
+func TraceFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey).(string)
+	return id
+}
+
+// Stages accumulates per-stage timings and extra log attributes for
+// one request; the middleware attaches one per request and folds it
+// into the slow-query log line. Safe for concurrent use.
+type Stages struct {
+	mu    sync.Mutex
+	attrs []slog.Attr
+}
+
+// WithStages attaches a fresh recorder to the context.
+func WithStages(ctx context.Context) (context.Context, *Stages) {
+	s := &Stages{}
+	return context.WithValue(ctx, stagesKey, s), s
+}
+
+// stagesFrom returns the context's recorder, or nil.
+func stagesFrom(ctx context.Context) *Stages {
+	s, _ := ctx.Value(stagesKey).(*Stages)
+	return s
+}
+
+// AddStage records one named stage duration on the context's
+// recorder; a no-op without one (e.g. outside the middleware).
+func AddStage(ctx context.Context, name string, d time.Duration) {
+	if s := stagesFrom(ctx); s != nil {
+		s.mu.Lock()
+		s.attrs = append(s.attrs, slog.String("stage_"+name, d.String()))
+		s.mu.Unlock()
+	}
+}
+
+// Annotate records an extra key=value for the request's log line —
+// handlers use it for bounded facts like the tenant namespace or the
+// accepted item count.
+func Annotate(ctx context.Context, key string, value any) {
+	if s := stagesFrom(ctx); s != nil {
+		s.mu.Lock()
+		s.attrs = append(s.attrs, slog.Any(key, value))
+		s.mu.Unlock()
+	}
+}
+
+// Attrs returns the recorded attributes in insertion order.
+func (s *Stages) Attrs() []slog.Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]slog.Attr(nil), s.attrs...)
+}

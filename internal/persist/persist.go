@@ -70,6 +70,7 @@ import (
 	"time"
 
 	"streamfreq/internal/core"
+	"streamfreq/internal/obs"
 )
 
 // FsyncPolicy says when WAL appends become durable.
@@ -245,8 +246,54 @@ type Store struct {
 	// ckptMu serializes whole checkpoints.
 	ckptMu sync.Mutex
 
+	// appendH/fsyncH time the two WAL latencies that matter
+	// operationally: what an ingest append pays (staging, plus the
+	// inline write or fsync its policy charges it) and what one fsync
+	// costs the disk. Set by Instrument before the store is shared;
+	// nil means uninstrumented and the hot path skips the clock reads.
+	appendH *obs.Histogram
+	fsyncH  *obs.Histogram
+
 	writeStop chan struct{}
 	writeDone chan struct{}
+}
+
+// Instrument registers the store's metric series on reg and enables
+// the append/fsync latency histograms. Call at setup time (before the
+// store is shared with writers), like PersistTo.
+func (st *Store) Instrument(reg *obs.Registry) {
+	st.appendH = reg.Histogram("freq_wal_append_seconds",
+		"WAL append latency as paid by the ingest path (staging plus any inline write or fsync).",
+		obs.LatencyOpts())
+	st.fsyncH = reg.Histogram("freq_wal_fsync_seconds",
+		"WAL fsync latency.", obs.LatencyOpts())
+	reg.GaugeFunc("freq_wal_lag_items", "Acknowledged-but-not-yet-durable items (WAL end minus durable position).",
+		func() float64 { return float64(st.Lag()) })
+	reg.GaugeFunc("freq_wal_durable_n", "Stream position fsynced to disk.",
+		func() float64 { return float64(st.durableN.Load()) })
+	reg.GaugeFunc("freq_wal_segments", "WAL segment count on disk.",
+		func() float64 { return float64(st.segCount.Load()) })
+	reg.CounterFunc("freq_wal_fsyncs_total", "WAL fsyncs issued.",
+		func() float64 { return float64(st.fsyncs.Load()) })
+	reg.CounterFunc("freq_wal_appended_records_total", "Records appended to the WAL.",
+		func() float64 { st.mu.Lock(); defer st.mu.Unlock(); return float64(st.appendedRecords) })
+	reg.CounterFunc("freq_wal_appended_bytes_total", "Bytes appended to the WAL.",
+		func() float64 { st.mu.Lock(); defer st.mu.Unlock(); return float64(st.appendedBytes) })
+	reg.CounterFunc("freq_wal_inline_drains_total", "Appends that hit the staging cap and paid the write inline.",
+		func() float64 { st.mu.Lock(); defer st.mu.Unlock(); return float64(st.inlineDrains) })
+	reg.CounterFunc("freq_checkpoints_total", "Checkpoints written.",
+		func() float64 { st.mu.Lock(); defer st.mu.Unlock(); return float64(st.checkpoints) })
+	reg.GaugeFunc("freq_checkpoint_age_seconds", "Seconds since the last checkpoint (0 before the first).",
+		func() float64 {
+			st.mu.Lock()
+			defer st.mu.Unlock()
+			if st.lastCkptTime.IsZero() {
+				return 0
+			}
+			return time.Since(st.lastCkptTime).Seconds()
+		})
+	reg.GaugeFunc("freq_checkpoint_last_n", "Stream position of the last checkpoint.",
+		func() float64 { st.mu.Lock(); defer st.mu.Unlock(); return float64(st.lastCkptN) })
 }
 
 // crcTable is the Castagnoli polynomial, hardware-accelerated on the
@@ -369,8 +416,20 @@ func (st *Store) AppendTenantBatch(ns string, k int, items []core.Item) {
 	st.append(recTenant, ns, k, items, 0, 0, int64(len(items)))
 }
 
-// append stages one record and hands it onward per policy.
+// append stages one record and hands it onward per policy, timing the
+// whole thing — including any inline drain or always-fsync the policy
+// charges to this call — when instrumented.
 func (st *Store) append(kind byte, ns string, k int, items []core.Item, x core.Item, count, deltaN int64) {
+	if h := st.appendH; h != nil {
+		t0 := time.Now()
+		st.appendRecordStaged(kind, ns, k, items, x, count, deltaN)
+		h.Observe(int64(time.Since(t0)))
+		return
+	}
+	st.appendRecordStaged(kind, ns, k, items, x, count, deltaN)
+}
+
+func (st *Store) appendRecordStaged(kind byte, ns string, k int, items []core.Item, x core.Item, count, deltaN int64) {
 	st.mu.Lock()
 	if st.failed != nil {
 		st.mu.Unlock()
@@ -429,7 +488,11 @@ func (st *Store) drainCoupled(sync bool) {
 	st.mu.Unlock()
 	err := st.writeChunkLocked(chunk, endN)
 	if err == nil && sync {
+		t0 := time.Now()
 		if err = st.seg.sync(); err == nil {
+			if h := st.fsyncH; h != nil {
+				h.Observe(int64(time.Since(t0)))
+			}
 			st.fsyncs.Add(1)
 			st.durableN.Store(endN)
 		}
@@ -531,6 +594,7 @@ func (st *Store) writer() {
 			if seg == nil || target <= st.durableN.Load() {
 				continue
 			}
+			syncStart := time.Now()
 			if err := seg.sync(); err != nil {
 				// Rotation may have sealed and closed this segment between
 				// our capture and the sync — in which case it is already
@@ -545,6 +609,9 @@ func (st *Store) writer() {
 					st.mu.Unlock()
 				}
 				continue
+			}
+			if h := st.fsyncH; h != nil {
+				h.Observe(int64(time.Since(syncStart)))
 			}
 			st.fsyncs.Add(1)
 			for {

@@ -94,6 +94,11 @@ type Ring[T any] struct {
 	// elements (maintained by Release, read by Retained).
 	retained atomic.Int64
 
+	// released is the consumer's progress: the position one past the
+	// last Release. Single consumer, so a plain store; readers (the
+	// pipeline's occupancy gauge) only need a recent value.
+	released atomic.Uint64
+
 	// parked/wake implement the consumer sleep—publish wake handshake.
 	parked atomic.Bool
 	wake   chan struct{}
@@ -123,6 +128,11 @@ func (r *Ring[T]) Cap() int { return len(r.slots) }
 
 // Retained returns the pooled payload capacity, in elements.
 func (r *Ring[T]) Retained() int64 { return r.retained.Load() }
+
+// Released returns the consumer's progress — the position one past the
+// last released slot. The pipeline's occupancy gauge reads it against
+// the claim cursor to report drainer lag in positions.
+func (r *Ring[T]) Released() uint64 { return r.released.Load() }
 
 // SlotAt returns the slot for position pos without any ordering check.
 // Only valid between Acquire(pos) and Publish(pos) on the same
@@ -203,6 +213,7 @@ func (r *Ring[T]) Release(pos uint64) {
 		r.retained.Add(int64(c - s.retained))
 		s.retained = c
 	}
+	r.released.Store(pos + 1)
 	s.seq.Store(pos + uint64(len(r.slots)))
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"streamfreq/internal/core"
+	"streamfreq/internal/obs"
 	"streamfreq/internal/serve"
 	"streamfreq/internal/stream"
 )
@@ -32,7 +33,7 @@ func (rt *Router) Handler() http.Handler { return rt.API().Handler() }
 // API returns the router's assembled route set — exposed so the docs
 // test can diff the README API-reference table against the live mux.
 func (rt *Router) API() *serve.API {
-	api := serve.NewAPI()
+	api := serve.NewAPI(rt.obs)
 	api.Route("POST", "/ingest", rt.handleIngest, "/ingest")
 	api.Route("GET", "/stats", rt.handleStats, "/stats")
 	api.Route("GET", "/shardmap", rt.handleShardMap, "/shardmap")
@@ -52,6 +53,7 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 		rt.mu.Lock()
 		rt.rejected++
 		rt.mu.Unlock()
+		rt.counters.Add("router.rejected", 1)
 		if errors.Is(err, stream.ErrUnsupportedMedia) {
 			serve.HTTPError(w, http.StatusUnsupportedMediaType, "%v", err)
 			return
@@ -63,6 +65,7 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 	buf := make([]core.Item, rt.batch)
 	perShard := make([][]core.Item, rt.ring.Shards())
 	var acked, shed int64
+	forwardStart := time.Now()
 	for {
 		n := src.NextBatch(buf)
 		if n == 0 {
@@ -93,6 +96,12 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 	rt.requests++
 	total := rt.acked
 	rt.mu.Unlock()
+	rt.counters.Add("router.requests", 1)
+	obs.AddStage(r.Context(), "forward", time.Since(forwardStart))
+	obs.Annotate(r.Context(), "items", acked)
+	if shed > 0 {
+		obs.Annotate(r.Context(), "shed", shed)
+	}
 
 	if err := src.Err(); err != nil {
 		// Batches decoded before the failure are already forwarded (the
@@ -137,6 +146,7 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		"rejected":  rt.rejected,
 	}
 	rt.mu.Unlock()
+	resp["counters"] = rt.counters.Snapshot()
 	resp["shard_status"] = m.Shards
 	serve.WriteJSON(w, http.StatusOK, resp)
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"streamfreq/internal/core"
+	"streamfreq/internal/obs"
 	"streamfreq/internal/serve"
 	"streamfreq/internal/stream"
 )
@@ -55,6 +56,10 @@ type Options struct {
 	// NewHTTPClient(Timeout), the shared intra-cluster transport
 	// config; attempt deadlines come from Timeout, not the client).
 	Client *http.Client
+	// Obs is the observability plane: metric registry, structured
+	// logger, slow-query threshold. Defaults to obs.Discard
+	// ("freqrouter") — metrics still accumulate, logs go nowhere.
+	Obs *obs.Obs
 }
 
 // replicaState is the router's view of one freqd replica. All fields
@@ -77,6 +82,11 @@ type shardState struct {
 	replicas []*replicaState
 	routed   int64 // items acknowledged by >=1 replica
 	shed     int64 // items dropped because no replica accepted them
+
+	// Per-shard Prometheus series (bounded cardinality: one shard ID
+	// label each, mirroring the mu-guarded totals above).
+	routedC *obs.Counter
+	shedC   *obs.Counter
 }
 
 // Router is the partitioned write tier: it splits ingest bodies across
@@ -91,6 +101,15 @@ type Router struct {
 	batch   int
 	maxIn   int64
 	start   time.Time
+
+	obs *obs.Obs
+	// counters splits what used to be a handful of mu-guarded ints into
+	// individually scrapeable series: router.retries (retry attempts
+	// beyond the first try), router.shed_items, router.down_marks
+	// (live→down transitions), router.readoptions (down→live), plus
+	// request/reject traffic. Keys surface verbatim in /stats and as
+	// freq_router_*_total in /v1/metrics.
+	counters *obs.Set
 
 	mu       sync.Mutex
 	shards   []*shardState
@@ -140,26 +159,83 @@ func New(opts Options) (*Router, error) {
 	if opts.Client == nil {
 		opts.Client = NewHTTPClient(opts.Timeout)
 	}
-	rt := &Router{
-		ring:    ring,
-		client:  opts.Client,
-		timeout: opts.Timeout,
-		retries: opts.Retries,
-		backoff: opts.Backoff,
-		batch:   opts.IngestBatch,
-		maxIn:   opts.MaxIngestBytes,
-		start:   time.Now(),
-		shards:  make([]*shardState, len(opts.Shards)),
+	if opts.Obs == nil {
+		opts.Obs = obs.Discard("freqrouter")
 	}
+	rt := &Router{
+		obs:      opts.Obs,
+		counters: obs.NewSet(opts.Obs.Reg, "freq"),
+		ring:     ring,
+		client:   opts.Client,
+		timeout:  opts.Timeout,
+		retries:  opts.Retries,
+		backoff:  opts.Backoff,
+		batch:    opts.IngestBatch,
+		maxIn:    opts.MaxIngestBytes,
+		start:    time.Now(),
+		shards:   make([]*shardState, len(opts.Shards)),
+	}
+	// Pre-create the split series so they scrape as 0 from the first
+	// request instead of materializing on first increment — dashboards
+	// and the chaos test can assert "shed is zero", not "shed is absent".
+	for _, key := range []string{
+		"router.requests", "router.rejected", "router.routed_items",
+		"router.shed_items", "router.retries", "router.down_marks",
+		"router.readoptions",
+	} {
+		rt.counters.Counter(key)
+	}
+	reg := opts.Obs.Reg
 	for i, sc := range opts.Shards {
-		s := &shardState{id: sc.ID, replicas: make([]*replicaState, len(sc.Replicas))}
+		s := &shardState{
+			id:       sc.ID,
+			replicas: make([]*replicaState, len(sc.Replicas)),
+			routedC: reg.Counter("freq_router_shard_routed_items_total",
+				"Items acknowledged by at least one replica of the shard.",
+				obs.Label{Key: "shard", Value: sc.ID}),
+			shedC: reg.Counter("freq_router_shard_shed_items_total",
+				"Items dropped because no replica of the shard accepted them.",
+				obs.Label{Key: "shard", Value: sc.ID}),
+		}
 		for j, u := range sc.Replicas {
 			s.replicas[j] = &replicaState{url: strings.TrimRight(u, "/")}
 		}
 		rt.shards[i] = s
+		reg.GaugeFunc("freq_router_replicas_up",
+			"Replicas of the shard currently considered live.",
+			func() float64 {
+				rt.mu.Lock()
+				defer rt.mu.Unlock()
+				up := 0
+				for _, rep := range s.replicas {
+					if !rep.down {
+						up++
+					}
+				}
+				return float64(up)
+			}, obs.Label{Key: "shard", Value: sc.ID})
+		reg.CounterFunc("freq_router_replica_restarts_total",
+			"Replica process restarts observed (epoch changes) across the shard.",
+			func() float64 {
+				rt.mu.Lock()
+				defer rt.mu.Unlock()
+				var n int64
+				for _, rep := range s.replicas {
+					n += rep.restarts
+				}
+				return float64(n)
+			}, obs.Label{Key: "shard", Value: sc.ID})
 	}
+	reg.GaugeFunc("freq_uptime_seconds", "Seconds since process start.",
+		func() float64 { return time.Since(rt.start).Seconds() })
 	return rt, nil
 }
+
+// Counters exposes the router's named counter set (router.retries,
+// router.shed_items, router.down_marks, router.readoptions, ...) for
+// tests and embedders; HTTP clients read the same values via /stats
+// and /v1/metrics.
+func (rt *Router) Counters() *obs.Set { return rt.counters }
 
 // Ring returns the router's hash ring (immutable, shared).
 func (rt *Router) Ring() *Ring { return rt.ring }
@@ -203,6 +279,11 @@ func (rt *Router) sendOnce(ctx context.Context, base string, payload []byte) (ac
 		return ack{}, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	// Propagate the request's trace ID so one client ingest is
+	// correlatable across the router's log line and every replica's.
+	if tid := obs.TraceFrom(ctx); tid != "" {
+		req.Header.Set(obs.TraceHeader, tid)
+	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		return ack{}, err
@@ -238,6 +319,7 @@ func (rt *Router) send(ctx context.Context, base string, payload []byte) (ack, e
 		rt.mu.Lock()
 		rt.retried++
 		rt.mu.Unlock()
+		rt.counters.Add("router.retries", 1)
 		select {
 		case <-time.After(backoff):
 		case <-ctx.Done():
@@ -277,10 +359,16 @@ func (rt *Router) record(rep *replicaState, a ack, err error) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if err != nil {
+		if !rep.down {
+			rt.counters.Add("router.down_marks", 1)
+		}
 		rep.down = true
 		rep.failures++
 		rep.lastErr = err.Error()
 		return
+	}
+	if rep.down {
+		rt.counters.Add("router.readoptions", 1)
 	}
 	rep.down = false
 	rep.lastErr = ""
@@ -321,9 +409,13 @@ func (rt *Router) forwardShard(ctx context.Context, si int, items []core.Item) b
 	if acked {
 		rt.shards[si].routed += int64(len(items))
 		rt.acked += int64(len(items))
+		rt.shards[si].routedC.Add(int64(len(items)))
+		rt.counters.Add("router.routed_items", int64(len(items)))
 	} else {
 		rt.shards[si].shed += int64(len(items))
 		rt.shedN += int64(len(items))
+		rt.shards[si].shedC.Add(int64(len(items)))
+		rt.counters.Add("router.shed_items", int64(len(items)))
 	}
 	return acked
 }

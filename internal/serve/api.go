@@ -2,9 +2,13 @@ package serve
 
 import (
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
+	"time"
+
+	"streamfreq/internal/obs"
 )
 
 // The versioned HTTP surface shared by all three daemons. Every
@@ -19,7 +23,14 @@ import (
 //     every failure on every daemon (HTTPError renders it);
 //   - a uniform 404 envelope for unknown paths;
 //   - GET /healthz on every daemon: a load balancer probes freqd,
-//     freqmerge, and freqrouter identically.
+//     freqmerge, and freqrouter identically;
+//   - GET /v1/metrics on every daemon: the Prometheus scrape endpoint
+//     over the daemon's obs registry;
+//   - per-request observability: every routed request gets an
+//     X-Freq-Trace ID (minted here unless the caller sent one), a
+//     latency observation in the per-route histogram, a status-class
+//     counter, a structured log line, and — past the -slow-query
+//     threshold — a Warn entry with per-stage timings.
 //
 // Handlers registered through Route never see a method they did not
 // declare, so they carry no method checks of their own.
@@ -28,6 +39,7 @@ import (
 type API struct {
 	mux    *http.ServeMux
 	routes []RouteInfo
+	obs    *obs.Obs
 }
 
 // RouteInfo describes one registered route: the comma-separated methods
@@ -38,17 +50,59 @@ type RouteInfo struct {
 	Pattern string
 }
 
-// NewAPI returns an API with the fallback 404 envelope and /healthz
-// pre-registered.
-func NewAPI() *API {
-	a := &API{mux: http.NewServeMux()}
+// NewAPI returns an API instrumented against o (obs.Discard when nil),
+// with the fallback 404 envelope, /healthz, and the /v1/metrics scrape
+// endpoint pre-registered.
+func NewAPI(o *obs.Obs) *API {
+	if o == nil {
+		o = obs.Discard("")
+	}
+	a := &API{mux: http.NewServeMux(), obs: o}
 	a.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		HTTPError(w, http.StatusNotFound, "no such endpoint %s (the API lives under /v1/)", r.URL.Path)
 	})
 	a.Route("GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
 		WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	}, "/healthz")
+	// Born versioned, no legacy alias: scrapers configure /v1/metrics.
+	metrics := o.Reg.Handler()
+	a.Route("GET", "/metrics", func(w http.ResponseWriter, r *http.Request) {
+		metrics.ServeHTTP(w, r)
+	})
 	return a
+}
+
+// routeInstr is one route's pre-created instruments, so the request
+// path performs no registry lookups.
+type routeInstr struct {
+	latency *obs.Histogram
+	byClass [6]*obs.Counter // status/100 → counter; 2xx..5xx populated
+}
+
+func (a *API) instruments(pattern string) *routeInstr {
+	ri := &routeInstr{
+		latency: a.obs.Reg.Histogram("freq_http_request_seconds",
+			"HTTP request latency by route.", obs.LatencyOpts(),
+			obs.Label{Key: "route", Value: pattern}),
+	}
+	for class := 2; class <= 5; class++ {
+		ri.byClass[class] = a.obs.Reg.Counter("freq_http_requests_total",
+			"HTTP requests by route and status class.",
+			obs.Label{Key: "route", Value: pattern},
+			obs.Label{Key: "code", Value: fmt.Sprintf("%dxx", class)})
+	}
+	return ri
+}
+
+// statusWriter captures the response status for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 // Route registers handler at /v1<pattern> (and at each absolute legacy
@@ -56,21 +110,76 @@ func NewAPI() *API {
 // ServeMux path wildcards ({ns}).
 func (a *API) Route(methods, pattern string, handler http.HandlerFunc, aliases ...string) {
 	allowed := strings.Split(methods, ",")
+	canonical := "/v1" + pattern
+	ri := a.instruments(canonical)
 	wrapped := func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		tid := r.Header.Get(obs.TraceHeader)
+		if tid == "" {
+			tid = obs.NewTraceID()
+		}
+		w.Header().Set(obs.TraceHeader, tid)
+		ctx, stages := obs.WithStages(obs.WithTrace(r.Context(), tid))
+		r = r.WithContext(ctx)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		served := false
 		for _, m := range allowed {
 			if r.Method == m {
-				handler(w, r)
-				return
+				served = true
+				handler(sw, r)
+				break
 			}
 		}
-		w.Header().Set("Allow", strings.Join(allowed, ", "))
-		HTTPError(w, http.StatusMethodNotAllowed, "%s requires %s", r.URL.Path, methods)
+		if !served {
+			sw.Header().Set("Allow", strings.Join(allowed, ", "))
+			HTTPError(sw, http.StatusMethodNotAllowed, "%s requires %s", r.URL.Path, methods)
+		}
+		elapsed := time.Since(start)
+		ri.latency.Observe(int64(elapsed))
+		if c := ri.byClass[sw.code/100%len(ri.byClass)]; c != nil {
+			c.Inc()
+		}
+		a.logRequest(r, canonical, sw.code, elapsed, tid, stages)
 	}
-	a.mux.HandleFunc("/v1"+pattern, wrapped)
+	a.mux.HandleFunc(canonical, wrapped)
 	for _, alias := range aliases {
 		a.mux.HandleFunc(alias, wrapped)
 	}
-	a.routes = append(a.routes, RouteInfo{Methods: methods, Pattern: "/v1" + pattern})
+	a.routes = append(a.routes, RouteInfo{Methods: methods, Pattern: canonical})
+}
+
+// logRequest emits the per-request structured log line: Debug for
+// reads, Info for writes, Warn with per-stage timings once the request
+// crosses the slow-query threshold.
+func (a *API) logRequest(r *http.Request, route string, code int, elapsed time.Duration, tid string, stages *obs.Stages) {
+	slow := a.obs.SlowQuery > 0 && elapsed >= a.obs.SlowQuery
+	level := slog.LevelDebug
+	msg := "request"
+	if r.Method != http.MethodGet {
+		level = slog.LevelInfo
+	}
+	if code >= 500 {
+		level = slog.LevelError
+	}
+	if slow {
+		level = slog.LevelWarn
+		msg = "slow request"
+	}
+	if !a.obs.Log.Enabled(r.Context(), level) {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.String("trace", tid),
+		slog.String("method", r.Method),
+		slog.String("route", route),
+		slog.Int("status", code),
+		slog.Duration("elapsed", elapsed),
+	}
+	if slow {
+		attrs = append(attrs, slog.String("path", r.URL.Path))
+	}
+	attrs = append(attrs, stages.Attrs()...)
+	a.obs.Log.LogAttrs(r.Context(), level, msg, attrs...)
 }
 
 // Handler returns the assembled mux.

@@ -8,7 +8,7 @@ import (
 	"strings"
 
 	"streamfreq/internal/core"
-	"streamfreq/internal/metrics"
+	"streamfreq/internal/obs"
 )
 
 // The query half of the freqd HTTP API, factored so any process that can
@@ -80,11 +80,14 @@ func parseItem(s string) (core.Item, error) {
 // QueryHandlers answers /topk and /estimate against pinned views. View
 // is called once per request so the n/threshold/report triple of a
 // response is internally consistent; Name (optional) labels reported
-// items with token spellings; Meter (optional) counts query traffic.
+// items with token spellings; Counters (optional) counts query traffic
+// — an obs.Set, so concurrent query handlers never serialize on a
+// shared mutex the way the old metrics.Meter made them (Meter survives
+// in internal/metrics for the offline harness only).
 type QueryHandlers struct {
-	View  func() core.ReadView
-	Name  func(core.Item) string
-	Meter *metrics.Meter
+	View     func() core.ReadView
+	Name     func(core.Item) string
+	Counters *obs.Set
 	// DefaultPhi is the threshold used when a /topk request names
 	// neither ?phi nor ?threshold (0 means the historical 0.01). Tenant
 	// routes set it to the namespace's φ.
@@ -119,8 +122,8 @@ func thresholdN(view core.ReadView) int64 {
 }
 
 func (q *QueryHandlers) count(key string) {
-	if q.Meter != nil {
-		q.Meter.Add(key, 1)
+	if q.Counters != nil {
+		q.Counters.Add(key, 1)
 	}
 }
 

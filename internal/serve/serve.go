@@ -47,7 +47,7 @@ import (
 	"time"
 
 	"streamfreq/internal/core"
-	"streamfreq/internal/metrics"
+	"streamfreq/internal/obs"
 	"streamfreq/internal/persist"
 	"streamfreq/internal/stream"
 	"streamfreq/internal/tenant"
@@ -148,6 +148,11 @@ type Options struct {
 	// section. Target keeps answering the un-namespaced routes through
 	// the table's default namespace.
 	Tenants *tenant.Table
+	// Obs is the daemon's observability plane: the registry behind
+	// GET /v1/metrics, the structured logger, and the slow-query
+	// threshold. Defaults to obs.Discard (working registry, silent
+	// logger), so libraries and tests need not build one.
+	Obs *obs.Obs
 }
 
 // Server is the freqd HTTP serving state: the target summary, the token
@@ -162,7 +167,10 @@ type Server struct {
 	maxLag   int64
 	durable  persist.Target // target as persist.Target; nil without a store
 	tenants  *tenant.Table
-	meter    *metrics.Meter
+	obs      *obs.Obs
+	counters *obs.Set // legacy dotted-key counters, mirrored as freq_*_total
+	batchH   *obs.Histogram
+	applyH   *obs.Histogram
 	start    time.Time
 	epoch    uint64
 	queries  QueryHandlers
@@ -195,6 +203,9 @@ func NewServer(opts Options) *Server {
 	if opts.Epoch == 0 {
 		opts.Epoch = uint64(time.Now().UnixNano())
 	}
+	if opts.Obs == nil {
+		opts.Obs = obs.Discard("freqd")
+	}
 	s := &Server{
 		target:   opts.Target,
 		algo:     opts.Algo,
@@ -204,12 +215,13 @@ func NewServer(opts Options) *Server {
 		store:    opts.Store,
 		maxLag:   opts.MaxLag,
 		tenants:  opts.Tenants,
-		meter:    metrics.NewMeter(),
+		obs:      opts.Obs,
+		counters: obs.NewSet(opts.Obs.Reg, "freq"),
 		start:    time.Now(),
 		epoch:    opts.Epoch,
 		names:    make(map[core.Item]string),
 	}
-	s.queries = QueryHandlers{View: s.view, Name: s.lookupName, Meter: s.meter}
+	s.queries = QueryHandlers{View: s.view, Name: s.lookupName, Counters: s.counters}
 	if opts.Store != nil {
 		d, ok := opts.Target.(persist.Target)
 		if !ok {
@@ -217,7 +229,88 @@ func NewServer(opts Options) *Server {
 		}
 		s.durable = d
 	}
+	s.bindMetrics()
 	return s
+}
+
+// bindMetrics registers the node's collector series: instruments the
+// ingest path writes, plus scrape-time funcs reading the stats surfaces
+// the target actually has (snapshot, window, pipeline, WAL, tenants).
+// Everything here mirrors a /stats field — /stats stays the
+// human-readable view, /v1/metrics the scrapeable one.
+func (s *Server) bindMetrics() {
+	reg := s.obs.Reg
+	s.batchH = reg.Histogram("freq_ingest_batch_items",
+		"Items per applied ingest batch.", obs.SizeOpts())
+	s.applyH = reg.Histogram("freq_ingest_apply_seconds",
+		"UpdateBatch apply latency per ingest batch.", obs.LatencyOpts())
+	algoLabel := obs.Label{Key: "algo", Value: s.algo}
+	reg.GaugeFunc("freq_build_info", "Constant 1, labeled with the serving algorithm.",
+		func() float64 { return 1 }, algoLabel)
+	reg.GaugeFunc("freq_uptime_seconds", "Seconds since process start.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("freq_stream_n", "Live stream position (items ingested).",
+		func() float64 {
+			if ln, ok := s.target.(interface{ LiveN() int64 }); ok {
+				return float64(ln.LiveN())
+			}
+			return float64(s.target.N())
+		})
+	reg.GaugeFunc("freq_summary_bytes", "Summary footprint in bytes.",
+		func() float64 { return float64(s.target.Bytes()) })
+	if ss, ok := s.target.(snapshotServer); ok {
+		reg.GaugeFunc("freq_snapshot_age_seconds", "Age of the serving snapshot.",
+			func() float64 { return ss.SnapshotStats().Age.Seconds() })
+		reg.GaugeFunc("freq_snapshot_as_of_n", "Stream position of the serving snapshot.",
+			func() float64 { return float64(ss.SnapshotStats().AsOfN) })
+		reg.CounterFunc("freq_snapshot_refreshes_total", "Serving snapshot refreshes.",
+			func() float64 { return float64(ss.SnapshotStats().Refreshes) })
+	}
+	if ps, ok := s.target.(pipelineStatser); ok {
+		reg.GaugeFunc("freq_pipeline_staged_items", "Acknowledged-but-unapplied items staged in the ingest rings (drainer lag).",
+			func() float64 { st := ps.PipelineStats(); return float64(st.ClaimedN - st.AppliedN) })
+		reg.GaugeFunc("freq_pipeline_ring_bytes", "Staging ring footprint in bytes.",
+			func() float64 { return float64(ps.PipelineStats().RingBytes) })
+		reg.GaugeFunc("freq_pipeline_shards", "Pipelined ingest shard count.",
+			func() float64 { return float64(ps.PipelineStats().Shards) })
+		reg.GaugeFunc("freq_pipeline_ring_occupancy", "In-flight batches across staging rings (claimed-unreleased slots).",
+			func() float64 { return float64(ps.PipelineStats().RingOccupancy) })
+		reg.CounterFunc("freq_pipeline_claimed_items_total", "Items claimed into staging rings.",
+			func() float64 { return float64(ps.PipelineStats().ClaimedN) })
+		reg.CounterFunc("freq_pipeline_applied_items_total", "Items applied by drainers.",
+			func() float64 { return float64(ps.PipelineStats().AppliedN) })
+	}
+	if ws, ok := s.view().(windowStatser); ok {
+		reg.GaugeFunc("freq_window_n", "Items inside the sliding window.",
+			func() float64 { return float64(ws.WindowStats().WindowN) })
+		reg.GaugeFunc("freq_window_live", "Live (unexpired) items tracked by the window.",
+			func() float64 { return float64(ws.WindowStats().Live) })
+		reg.GaugeFunc("freq_window_slack", "Certified overestimate slack of the window.",
+			func() float64 { return float64(ws.WindowStats().Slack) })
+	}
+	if s.tenants != nil {
+		reg.GaugeFunc("freq_tenants", "Namespaces known to the table.",
+			func() float64 { return float64(s.tenants.TableStats().Tenants) })
+		reg.GaugeFunc("freq_tenants_resident", "Namespaces with resident (decoded) summaries.",
+			func() float64 { return float64(s.tenants.TableStats().Resident) })
+		reg.GaugeFunc("freq_tenants_blob_bytes", "Encoded bytes of evicted namespace summaries.",
+			func() float64 { return float64(s.tenants.TableStats().BlobBytes) })
+		reg.CounterFunc("freq_tenants_created_total", "Namespaces created.",
+			func() float64 { return float64(s.tenants.TableStats().Created) })
+		reg.CounterFunc("freq_tenants_evictions_total", "Namespace summary evictions.",
+			func() float64 { return float64(s.tenants.TableStats().Evictions) })
+		reg.CounterFunc("freq_tenants_reloads_total", "Namespace summary reloads after eviction.",
+			func() float64 { return float64(s.tenants.TableStats().Reloads) })
+		reg.GaugeFunc("freq_tenants_slab_bytes", "Slab arena footprint backing tenant counters.",
+			func() float64 { return float64(s.tenants.TableStats().Slab.ChunkBytes) })
+		reg.GaugeFunc("freq_tenants_slab_live_blocks", "Slab blocks handed out and not released.",
+			func() float64 { return float64(s.tenants.TableStats().Slab.LiveBlocks) })
+	}
+	if s.store != nil {
+		s.store.Instrument(reg)
+		reg.GaugeFunc("freq_wal_max_lag", "Configured WAL shed bound in items (0 = unbounded).",
+			func() float64 { return float64(s.maxLag) })
+	}
 }
 
 // Handler returns the HTTP API mux: the /v1 surface with the
@@ -229,7 +322,7 @@ func (s *Server) Handler() http.Handler { return s.API().Handler() }
 // the opaque Handler) so the docs test can diff the README API-reference
 // table against the live mux.
 func (s *Server) API() *API {
-	api := NewAPI()
+	api := NewAPI(s.obs)
 	api.Route("POST", "/ingest", s.handleIngest, "/ingest")
 	api.Route("GET", "/topk", s.queries.TopK, "/topk")
 	api.Route("GET", "/estimate", s.queries.Estimate, "/estimate")
@@ -284,7 +377,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			// The WAL has failed: accepting this write would acknowledge
 			// data that cannot survive a restart. Serve reads, refuse
 			// writes, page the operator.
-			s.meter.Add("ingest.rejected", 1)
+			s.counters.Add("ingest.rejected", 1)
 			HTTPError(w, http.StatusServiceUnavailable, "persistence failed, ingest disabled: %v", err)
 			return
 		}
@@ -294,7 +387,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 				// shed the write with an explicit retry signal while the
 				// log drains, instead of acknowledging into a growing
 				// unsynced tail. Reads keep serving throughout.
-				s.meter.Add("ingest.shed", 1)
+				s.counters.Add("ingest.shed", 1)
 				w.Header().Set("Retry-After", "1")
 				HTTPError(w, http.StatusTooManyRequests,
 					"WAL lag %d items exceeds the %d-item bound; retry after the log drains", lag, s.maxLag)
@@ -307,7 +400,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// high-cardinality text body cannot allocate past it transiently.
 	src, err := stream.OpenIngest(r.Header.Get("Content-Type"), body, s.maxNames)
 	if err != nil {
-		s.meter.Add("ingest.rejected", 1)
+		s.counters.Add("ingest.rejected", 1)
 		if errors.Is(err, stream.ErrUnsupportedMedia) {
 			HTTPError(w, http.StatusUnsupportedMediaType, "%v", err)
 			return
@@ -319,16 +412,24 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 	buf := make([]core.Item, s.batch)
 	var ingested int64
+	var applyTotal time.Duration
 	for {
 		n := src.NextBatch(buf)
 		if n == 0 {
 			break
 		}
+		t0 := time.Now()
 		s.target.UpdateBatch(buf[:n])
+		d := time.Since(t0)
+		applyTotal += d
+		s.batchH.Observe(int64(n))
+		s.applyH.Observe(int64(d))
 		ingested += int64(n)
 	}
-	s.meter.Add("ingest.requests", 1)
-	s.meter.Add("ingest.items", ingested)
+	s.counters.Add("ingest.requests", 1)
+	s.counters.Add("ingest.items", ingested)
+	obs.AddStage(r.Context(), "apply", applyTotal)
+	obs.Annotate(r.Context(), "items", ingested)
 	if err := src.Err(); err != nil {
 		// Items decoded before the failure are already ingested (the
 		// stream model has no transactions); report both facts. A body
@@ -347,12 +448,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// restart on the very next batch it forwards — without waiting for a
 	// health probe or a /summary pull to observe the new epoch.
 	w.Header().Set(HeaderEpoch, strconv.FormatUint(s.epoch, 10))
-	// Ack with the live cumulative ingest total (free, from the meter):
+	// Ack with the live cumulative ingest total (free, from the counter):
 	// target.N() would report the snapshot-lagged serving position — and
 	// could charge a snapshot refresh to the write path to compute it.
 	WriteJSON(w, http.StatusOK, map[string]int64{
 		"ingested": ingested,
-		"n":        s.meter.Get("ingest.items"),
+		"n":        s.counters.Get("ingest.items"),
 	})
 }
 
@@ -369,7 +470,7 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		HTTPError(w, http.StatusNotImplemented, "target %s cannot snapshot", s.target.Name())
 		return
 	}
-	s.meter.Add("summary.pulls", 1)
+	s.counters.Add("summary.pulls", 1)
 	WriteSummary(w, s.algo, s.epoch, sn.Snapshot())
 }
 
@@ -390,7 +491,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"epoch":     s.epoch,
 		"bytes":     s.target.Bytes(),
 		"uptime_ms": time.Since(s.start).Milliseconds(),
-		"counters":  s.meter.Snapshot(),
+		"counters":  s.counters.Snapshot(),
 	}
 	if ss, ok := s.target.(snapshotServer); ok {
 		st := ss.SnapshotStats()
@@ -431,12 +532,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// and the staging rings' footprint.
 		pst := ps.PipelineStats()
 		resp["pipeline"] = map[string]any{
-			"shards":        pst.Shards,
-			"ring_capacity": pst.RingCapacity,
-			"claimed_n":     pst.ClaimedN,
-			"applied_n":     pst.AppliedN,
-			"staged":        pst.ClaimedN - pst.AppliedN,
-			"ring_bytes":    pst.RingBytes,
+			"shards":         pst.Shards,
+			"ring_capacity":  pst.RingCapacity,
+			"claimed_n":      pst.ClaimedN,
+			"applied_n":      pst.AppliedN,
+			"staged":         pst.ClaimedN - pst.AppliedN,
+			"ring_bytes":     pst.RingBytes,
+			"ring_occupancy": pst.RingOccupancy,
 		}
 	}
 	if s.store != nil {
@@ -484,7 +586,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		HTTPError(w, http.StatusInternalServerError, "checkpoint failed: %v", err)
 		return
 	}
-	s.meter.Add("checkpoint.forced", 1)
+	s.counters.Add("checkpoint.forced", 1)
 	WriteJSON(w, http.StatusOK, map[string]int64{
 		"n":     ps.LastCkptN,
 		"bytes": ps.LastCkptBytes,
@@ -506,7 +608,7 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 		HTTPError(w, http.StatusNotImplemented, "snapshot serving is not enabled on the target")
 		return
 	}
-	s.meter.Add("snapshot.forced", 1)
+	s.counters.Add("snapshot.forced", 1)
 	WriteJSON(w, http.StatusOK, map[string]int64{"n": view.N()})
 }
 

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+	"time"
 
 	"streamfreq/internal/core"
+	"streamfreq/internal/obs"
 	"streamfreq/internal/persist"
 	"streamfreq/internal/stream"
 )
@@ -82,13 +84,13 @@ func (s *Server) handleTenantIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.store != nil {
 		if err := s.store.Err(); err != nil {
-			s.meter.Add("ingest.rejected", 1)
+			s.counters.Add("ingest.rejected", 1)
 			HTTPError(w, http.StatusServiceUnavailable, "persistence failed, ingest disabled: %v", err)
 			return
 		}
 		if s.maxLag > 0 {
 			if lag := s.store.Lag(); lag > s.maxLag {
-				s.meter.Add("ingest.shed", 1)
+				s.counters.Add("ingest.shed", 1)
 				w.Header().Set("Retry-After", "1")
 				HTTPError(w, http.StatusTooManyRequests,
 					"WAL lag %d items exceeds the %d-item bound; retry after the log drains", lag, s.maxLag)
@@ -99,7 +101,7 @@ func (s *Server) handleTenantIngest(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.maxIn)
 	src, err := stream.OpenIngest(r.Header.Get("Content-Type"), body, s.maxNames)
 	if err != nil {
-		s.meter.Add("ingest.rejected", 1)
+		s.counters.Add("ingest.rejected", 1)
 		if errors.Is(err, stream.ErrUnsupportedMedia) {
 			HTTPError(w, http.StatusUnsupportedMediaType, "%v", err)
 			return
@@ -114,12 +116,18 @@ func (s *Server) handleTenantIngest(w http.ResponseWriter, r *http.Request) {
 
 	buf := make([]core.Item, s.batch)
 	var ingested, tenantN int64
+	var applyTotal time.Duration
 	for {
 		n := src.NextBatch(buf)
 		if n == 0 {
 			break
 		}
+		t0 := time.Now()
 		tn, _, err := s.tenants.IngestBatch(ns, buf[:n])
+		d := time.Since(t0)
+		applyTotal += d
+		s.batchH.Observe(int64(n))
+		s.applyH.Observe(int64(d))
 		if err != nil {
 			HTTPError(w, http.StatusBadRequest, "ingest into %q failed after %d items: %v", ns, ingested, err)
 			return
@@ -127,9 +135,12 @@ func (s *Server) handleTenantIngest(w http.ResponseWriter, r *http.Request) {
 		tenantN = tn
 		ingested += int64(n)
 	}
-	s.meter.Add("ingest.requests", 1)
-	s.meter.Add("ingest.items", ingested)
-	s.meter.Add("ingest.tenant_items", ingested)
+	s.counters.Add("ingest.requests", 1)
+	s.counters.Add("ingest.items", ingested)
+	s.counters.Add("ingest.tenant_items", ingested)
+	obs.AddStage(r.Context(), "apply", applyTotal)
+	obs.Annotate(r.Context(), "tenant", ns)
+	obs.Annotate(r.Context(), "items", ingested)
 	if err := src.Err(); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -158,7 +169,7 @@ func (s *Server) handleTenantTopK(w http.ResponseWriter, r *http.Request) {
 	q := QueryHandlers{
 		View:       func() core.ReadView { return tenantView{s: s, ns: ns} },
 		Name:       s.lookupName,
-		Meter:      s.meter,
+		Counters:   s.counters,
 		DefaultPhi: info.Phi,
 	}
 	q.TopK(w, r)
@@ -171,9 +182,9 @@ func (s *Server) handleTenantEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := QueryHandlers{
-		View:  func() core.ReadView { return tenantView{s: s, ns: ns} },
-		Name:  s.lookupName,
-		Meter: s.meter,
+		View:     func() core.ReadView { return tenantView{s: s, ns: ns} },
+		Name:     s.lookupName,
+		Counters: s.counters,
 	}
 	q.Estimate(w, r)
 }
@@ -220,7 +231,7 @@ func (s *Server) handleTenantBundle(w http.ResponseWriter, r *http.Request) {
 		HTTPError(w, http.StatusInternalServerError, "encoding tenant bundle: %v", err)
 		return
 	}
-	s.meter.Add("summary.bundle_pulls", 1)
+	s.counters.Add("summary.bundle_pulls", 1)
 	h := w.Header()
 	h.Set("Content-Type", TenantBundleContentType)
 	h.Set(HeaderAlgo, s.algo)
